@@ -1,0 +1,240 @@
+// Command seesawctl regenerates the paper's tables and figures on the
+// simulated platform.
+//
+// Usage:
+//
+//	seesawctl list                 # list experiment ids
+//	seesawctl run <id> [flags]     # run one experiment (fig1..fig9b, table1, table2, abl-*)
+//	seesawctl all [flags]          # run every experiment in paper order
+//	seesawctl trace [flags]        # per-synchronization CSV of one policy cell
+//	seesawctl job <file.json>      # run a JSON-described job (see internal/jobfile)
+//
+// Flags:
+//
+//	-steps N   override Verlet steps per run (default 400, the paper's setting)
+//	-runs N    override repeated jobs per cell (default: 3, Table I: 7)
+//	-seed N    base seed for all jobs
+//
+// trace flags: -policy, -analyses, -nodes, -dim, -j, -w (see -h).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seesaw/internal/bench"
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/jobfile"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	steps := fs.Int("steps", 0, "override Verlet steps per run (0 = experiment default)")
+	runs := fs.Int("runs", 0, "override repeated jobs per cell (0 = experiment default)")
+	seed := fs.Uint64("seed", 1, "base seed")
+	outPath := fs.String("o", "", "write a Markdown report to this file instead of stdout (all only)")
+
+	switch cmd {
+	case "list":
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "seesawctl run <id> [flags]")
+			os.Exit(2)
+		}
+		id := os.Args[2]
+		if err := fs.Parse(os.Args[3:]); err != nil {
+			os.Exit(2)
+		}
+		e, ok := bench.Get(id)
+		if !ok {
+			fmt.Fprintln(os.Stderr, bench.UnknownExperimentError(id))
+			os.Exit(1)
+		}
+		runOne(e, bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed})
+	case "all":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed}
+		if *outPath != "" {
+			if err := writeReport(*outPath, o); err != nil {
+				fmt.Fprintln(os.Stderr, "seesawctl:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		for _, e := range bench.All() {
+			runOne(e, o)
+		}
+	case "selftest":
+		if err := fs.Parse(os.Args[2:]); err != nil {
+			os.Exit(2)
+		}
+		ok, err := bench.RunSelfTest(bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seesawctl:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	case "trace":
+		runTrace(os.Args[2:])
+	case "job":
+		runJob(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runJob loads a JSON job description, runs it, and prints the summary
+// (or the full per-synchronization CSV with -csv).
+func runJob(args []string) {
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit the per-synchronization log as CSV")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "seesawctl job [-csv] <job.json>")
+		os.Exit(2)
+	}
+	j, err := jobfile.LoadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	cfg, err := j.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	res, err := cosim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "seesawctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	last := res.SyncLog.Records[res.SyncLog.Len()-1]
+	fmt.Printf("policy %s on %d nodes: total %.1f s, energy %.1f kJ, mean slack %.2f%%, final caps %.1f/%.1f W\n",
+		cfg.Policy.Name(), cfg.Spec.SimNodes+cfg.Spec.AnaNodes,
+		float64(res.TotalTime), float64(res.TotalEnergy)/1000,
+		res.SyncLog.MeanSlackFrom(10)*100, float64(last.SimCap), float64(last.AnaCap))
+}
+
+// runTrace emits the per-synchronization log of one co-simulated cell as
+// CSV — the raw data behind the Figure 4 and Figure 5 plots.
+func runTrace(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	policy := fs.String("policy", "seesaw", "static, seesaw, power-aware or time-aware")
+	analyses := fs.String("analyses", "msd", "comma-separated analyses, or 'all'")
+	nodes := fs.Int("nodes", 128, "total nodes (split evenly)")
+	dim := fs.Int("dim", 16, "problem size")
+	j := fs.Int("j", 1, "synchronize every j-th step")
+	w := fs.Int("w", 1, "reallocate every w synchronizations")
+	steps := fs.Int("steps", 400, "Verlet steps")
+	capPer := fs.Float64("cap", 110, "per-node budget (W)")
+	seed := fs.Uint64("seed", 1, "job seed")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	var tasks []workload.AnalysisTask
+	if *analyses == "all" {
+		tasks = workload.AllAnalysesForDim(*dim)
+	} else {
+		tasks = workload.Tasks(strings.Split(*analyses, ",")...)
+	}
+	cons := core.Constraints{Budget: units.Watts(*capPer) * units.Watts(*nodes), MinCap: 98, MaxCap: 215}
+	pol, err := bench.NewPolicy(*policy, cons, *w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	res, err := cosim.Run(cosim.Config{
+		Spec: workload.Spec{
+			SimNodes: *nodes / 2, AnaNodes: *nodes - *nodes/2,
+			Dim: *dim, J: *j, Steps: *steps, Analyses: tasks,
+		},
+		Policy:      pol,
+		Constraints: cons,
+		CapMode:     cosim.CapLong,
+		Seed:        *seed,
+		RunSeed:     *seed + 1,
+		Noise:       machine.DefaultNoise(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "seesawctl trace: %s on %d nodes, total %.1f s, mean slack %.2f%%\n",
+		*policy, *nodes, float64(res.TotalTime), res.SyncLog.MeanSlackFrom(10)*100)
+}
+
+// writeReport runs every experiment and writes a Markdown document with
+// one fenced section per artifact.
+func writeReport(path string, o bench.Options) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "# SeeSAw experiment report")
+	fmt.Fprintln(f)
+	fmt.Fprintf(f, "Options: steps=%d runs=%d seed=%d (0 = experiment defaults)\n", o.Steps, o.Runs, o.BaseSeed)
+	for _, e := range bench.All() {
+		fmt.Fprintf(f, "\n## %s\n\n%s\n\n```\n", e.ID, e.Title)
+		if err := e.Run(o, f); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprintln(f, "```")
+		fmt.Fprintf(os.Stderr, "seesawctl: %s done\n", e.ID)
+	}
+	return nil
+}
+
+func runOne(e bench.Experiment, o bench.Options) {
+	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+	if err := e.Run(o, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "seesawctl: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `seesawctl — regenerate the SeeSAw paper's tables and figures
+
+usage:
+  seesawctl list
+  seesawctl run <id> [-steps N] [-runs N] [-seed N]
+  seesawctl all [-steps N] [-runs N] [-seed N]
+  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W]
+  seesawctl job [-csv] <job.json>
+  seesawctl selftest [-seed N]     # verify the paper's headline invariants`)
+}

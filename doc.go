@@ -1,0 +1,29 @@
+// Package seesaw is a from-scratch Go reproduction of "SeeSAw: Optimizing
+// Performance of In-Situ Analytics Applications under Power Constraints"
+// (Marincic, Vishwanath, Hoffmann; IEEE IPDPS 2020).
+//
+// The repository contains the paper's contribution — the SeeSAw
+// energy-feedback power allocator — together with every substrate it
+// needs to run and be evaluated: a simulated RAPL power-capping layer, a
+// phase-level node power/performance model, a virtual-time in-process
+// message-passing runtime, a miniature molecular-dynamics engine with the
+// paper's five in-situ analyses, the PoLiMER instrumentation library, the
+// SLURM-style power-aware and GEOPM-style time-aware baseline policies,
+// and an experiment harness that regenerates every table and figure of
+// the paper's evaluation.
+//
+// Entry points:
+//
+//   - internal/core: the SeeSAw, power-aware, time-aware and static
+//     allocation policies behind one Policy interface;
+//   - internal/insitu: run a real (miniature) LAMMPS-style in-situ job
+//     over the simulated cluster;
+//   - internal/cosim: the scale-level co-simulation used for the
+//     128-1024-node experiments;
+//   - internal/bench: the per-table/per-figure experiment registry;
+//   - cmd/seesawctl: command-line access to every experiment;
+//   - examples/: runnable programs exercising the public API.
+//
+// See DESIGN.md for the system inventory and the paper-to-code map, and
+// EXPERIMENTS.md for reproduced-vs-paper results.
+package seesaw

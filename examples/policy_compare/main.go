@@ -1,0 +1,73 @@
+// Policy comparison at scale: the four power-management strategies of
+// the paper on a 128-node LAMMPS+MSD job (the scale co-simulation), with
+// a per-synchronization view of how each strategy moves power — a
+// runnable counterpart to the paper's Figures 3a and 4.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"seesaw/internal/bench"
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{
+		SimNodes: 64, AnaNodes: 64,
+		Dim: 16, J: 1, Steps: 400,
+		Analyses: workload.Tasks("msd"),
+	}
+	cons := core.Constraints{Budget: units.Watts(110 * 128), MinCap: 98, MaxCap: 215}
+
+	fmt.Println("LAMMPS + full MSD on 128 nodes, 110 W per node budget, 400 Verlet steps")
+	fmt.Println()
+
+	tbl := trace.NewTable("Policy comparison (paired seeds)",
+		"policy", "runtime (s)", "vs static", "mean slack", "final sim/ana caps (W)")
+
+	var staticTime units.Seconds
+	for _, name := range []string{"static", "seesaw", "time-aware", "power-aware"} {
+		policy, err := bench.NewPolicy(name, cons, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cosim.Run(cosim.Config{
+			Spec:        spec,
+			Policy:      policy,
+			Constraints: cons,
+			CapMode:     cosim.CapLong,
+			Seed:        7,
+			RunSeed:     8,
+			Noise:       machine.DefaultNoise(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if name == "static" {
+			staticTime = res.TotalTime
+		}
+		imp := (float64(staticTime) - float64(res.TotalTime)) / float64(staticTime) * 100
+		last := res.SyncLog.Records[res.SyncLog.Len()-1]
+		tbl.AddRow(name,
+			fmt.Sprintf("%.1f", float64(res.TotalTime)),
+			fmt.Sprintf("%+.2f%%", imp),
+			fmt.Sprintf("%.1f%%", res.SyncLog.MeanSlackFrom(10)*100),
+			fmt.Sprintf("%.1f / %.1f", float64(last.SimCap), float64(last.AnaCap)))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("expected shape (paper Section VII-B): seesaw converges to a low-slack")
+	fmt.Println("allocation favoring the analysis; the time-aware balancer is lured the")
+	fmt.Println("wrong way by the startup transient and freezes; the power-aware scheme")
+	fmt.Println("chases measurement noise and loses outright.")
+}

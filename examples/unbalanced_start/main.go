@@ -1,0 +1,77 @@
+// Unbalanced initial power (the paper's Figure 7): simulation and
+// analysis start from skewed per-node caps — as they would if the two
+// partitions were provisioned differently — and SeeSAw rebalances toward
+// the equal-time allocation from either side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+func main() {
+	spec := workload.Spec{
+		SimNodes: 64, AnaNodes: 64,
+		Dim: 36, J: 1, Steps: 400,
+		Analyses: workload.AllAnalysesForDim(36),
+	}
+	cons := core.Constraints{Budget: units.Watts(110 * 128), MinCap: 98, MaxCap: 215}
+
+	starts := []struct {
+		label    string
+		sim, ana units.Watts
+	}{
+		{"simulation-heavy start (S=120, A=100)", 120, 100},
+		{"analysis-heavy start   (S=100, A=120)", 100, 120},
+		{"equal start            (S=110, A=110)", 110, 110},
+	}
+
+	fmt.Println("128 nodes, dim=36, all analyses, w=2 (the paper's Fig 7 setup)")
+	fmt.Println()
+	tbl := trace.NewTable("SeeSAw vs keeping the initial distribution static",
+		"initial distribution", "static (s)", "seesaw (s)", "improvement", "final caps S/A (W)")
+
+	for _, st := range starts {
+		var times [2]float64
+		var final trace.SyncRecord
+		for i, policy := range []core.Policy{
+			core.NewStatic(),
+			core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 2}),
+		} {
+			res, err := cosim.Run(cosim.Config{
+				Spec: spec, Policy: policy, Constraints: cons,
+				InitialSimCap: st.sim, InitialAnaCap: st.ana,
+				CapMode: cosim.CapLong, Seed: 11, RunSeed: 12,
+				Noise: machine.DefaultNoise(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			times[i] = float64(res.TotalTime)
+			if i == 1 {
+				final = res.SyncLog.Records[res.SyncLog.Len()-1]
+			}
+		}
+		tbl.AddRow(st.label,
+			fmt.Sprintf("%.0f", times[0]),
+			fmt.Sprintf("%.0f", times[1]),
+			fmt.Sprintf("%+.2f%%", (times[0]-times[1])/times[0]*100),
+			fmt.Sprintf("%.1f / %.1f", float64(final.SimCap), float64(final.AnaCap)))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println("from either skewed start SeeSAw converges toward the same balanced")
+	fmt.Println("allocation, recovering the most when the start was most wrong (paper:")
+	fmt.Println("28.26% / 19.21% / 8.94% for the three cases).")
+}

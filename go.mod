@@ -1,0 +1,3 @@
+module seesaw
+
+go 1.22

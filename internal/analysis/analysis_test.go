@@ -1,0 +1,269 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"seesaw/internal/lammps"
+)
+
+// makeFrames advances a small MD system and captures frames.
+func makeFrames(t *testing.T, n int) []lammps.Frame {
+	t.Helper()
+	cfg := lammps.DefaultConfig()
+	cfg.Atoms = 256
+	s, err := lammps.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([]lammps.Frame, 0, n)
+	for i := 0; i < n; i++ {
+		s.InitialIntegrate()
+		if s.NeedsRebuild() {
+			s.BuildNeighbors()
+		}
+		s.ComputeForces()
+		s.FinalIntegrate()
+		frames = append(frames, s.Snapshot())
+	}
+	return frames
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range Names() {
+		a, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("unknown analysis should error")
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := New(name)
+		p := a.Profile()
+		if p.Demand <= 0 || p.Saturation <= 60 {
+			t.Errorf("%s: implausible power profile %+v", name, p)
+		}
+		if p.Sensitivity < 0 || p.Sensitivity > 1 {
+			t.Errorf("%s: sensitivity %v outside [0,1]", name, p.Sensitivity)
+		}
+		if p.SecondsPerOp <= 0 {
+			t.Errorf("%s: non-positive SecondsPerOp", name)
+		}
+	}
+}
+
+func TestMSDStartsAtZero(t *testing.T) {
+	frames := makeFrames(t, 3)
+	m := NewMSD()
+	m.Consume(&frames[0])
+	res := m.Result()
+	if len(res) != 1 {
+		t.Fatalf("MSD result length %d", len(res))
+	}
+	if res[0] != 0 {
+		t.Errorf("MSD of the origin frame = %v, want 0", res[0])
+	}
+}
+
+func TestMSDGrows(t *testing.T) {
+	frames := makeFrames(t, 40)
+	m := NewMSD()
+	for i := range frames {
+		m.Consume(&frames[i])
+	}
+	res := m.Result()
+	if res[len(res)-1] <= res[0] {
+		t.Errorf("MSD did not grow: first %v last %v", res[0], res[len(res)-1])
+	}
+	for _, v := range res {
+		if v < 0 {
+			t.Fatalf("negative MSD %v", v)
+		}
+	}
+}
+
+func TestVACFNormalization(t *testing.T) {
+	frames := makeFrames(t, 20)
+	v := NewVACF(16)
+	for i := range frames {
+		v.Consume(&frames[i])
+	}
+	res := v.Result()
+	if len(res) == 0 {
+		t.Fatal("empty VACF")
+	}
+	if math.Abs(res[0]-1) > 1e-12 {
+		t.Errorf("VACF(0) = %v, want 1 (self-correlation)", res[0])
+	}
+	// Correlation decays: later values below 1 in magnitude... the
+	// liquid decorrelates within a few steps of dt=0.005; check bounds.
+	for i, c := range res {
+		if math.Abs(c) > 1.2 {
+			t.Errorf("VACF[%d] = %v outside plausible range", i, c)
+		}
+	}
+}
+
+func TestVACFLagLimit(t *testing.T) {
+	frames := makeFrames(t, 30)
+	v := NewVACF(8)
+	for i := range frames {
+		v.Consume(&frames[i])
+	}
+	if got := len(v.Result()); got != 8 {
+		t.Errorf("VACF recorded %d lags, want max 8", got)
+	}
+}
+
+func TestRDFNormalizedTail(t *testing.T) {
+	frames := makeFrames(t, 10)
+	r := NewRDF(32, 0)
+	for i := range frames {
+		r.Consume(&frames[i])
+	}
+	res := r.Result()
+	if len(res) != 64 {
+		t.Fatalf("RDF result length = %d, want 2*32", len(res))
+	}
+	// g(r) at large r should approach 1 (ideal-gas normalization); use
+	// the outer quarter of the hydronium-solvent histogram.
+	var tail, n float64
+	for b := 24; b < 32; b++ {
+		tail += res[b]
+		n++
+	}
+	tail /= n
+	if tail < 0.7 || tail > 1.3 {
+		t.Errorf("RDF tail g(r) = %v, want ~1", tail)
+	}
+	// Excluded volume: g(r) ~ 0 at tiny r.
+	if res[0] > 0.2 {
+		t.Errorf("RDF at contact distance = %v, want ~0 (core repulsion)", res[0])
+	}
+}
+
+func TestRDFEmptyResult(t *testing.T) {
+	r := NewRDF(16, 0)
+	res := r.Result()
+	if len(res) != 32 {
+		t.Errorf("empty RDF result length %d", len(res))
+	}
+	for _, v := range res {
+		if v != 0 {
+			t.Error("empty RDF should be all zeros")
+		}
+	}
+}
+
+func TestMSD1D(t *testing.T) {
+	frames := makeFrames(t, 25)
+	m := NewMSD1D(4)
+	for i := range frames {
+		m.Consume(&frames[i])
+	}
+	res := m.Result()
+	if len(res) != 4 {
+		t.Fatalf("MSD1D bins = %d", len(res))
+	}
+	var total float64
+	for _, v := range res {
+		if v < 0 {
+			t.Fatal("negative binned MSD")
+		}
+		total += v
+	}
+	if total == 0 {
+		t.Error("MSD1D all zero after 25 steps of dynamics")
+	}
+}
+
+func TestMSD2D(t *testing.T) {
+	frames := makeFrames(t, 25)
+	m := NewMSD2D(3)
+	for i := range frames {
+		m.Consume(&frames[i])
+	}
+	res := m.Result()
+	if len(res) != 9 {
+		t.Fatalf("MSD2D cells = %d, want 9", len(res))
+	}
+	var nonzero int
+	for _, v := range res {
+		if v < 0 {
+			t.Fatal("negative cell MSD")
+		}
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 5 {
+		t.Errorf("only %d/9 MSD2D cells populated", nonzero)
+	}
+}
+
+func TestWorkCountsPositive(t *testing.T) {
+	frames := makeFrames(t, 2)
+	for _, name := range Names() {
+		a, _ := New(name)
+		w := a.Consume(&frames[0])
+		if w.Ops <= 0 {
+			t.Errorf("%s: non-positive work %v", name, w.Ops)
+		}
+	}
+}
+
+func TestMSDRelativeCostHighest(t *testing.T) {
+	// The paper's high-demand analysis: full MSD's modeled runtime per
+	// frame must exceed every other analysis's.
+	frames := makeFrames(t, 2)
+	cost := func(name string) float64 {
+		a, _ := New(name)
+		w := a.Consume(&frames[0])
+		return w.Ops * a.Profile().SecondsPerOp
+	}
+	msd := cost("msd")
+	for _, other := range []string{"rdf", "vacf", "msd1d", "msd2d"} {
+		if c := cost(other); c >= msd {
+			t.Errorf("%s per-frame cost %v >= msd %v", other, c, msd)
+		}
+	}
+}
+
+func TestBinIndexBounds(t *testing.T) {
+	for _, x := range []float64{-1, 0, 0.5, 9.99, 10, 11} {
+		b := binIndex(x, 10, 8)
+		if b < 0 || b >= 8 {
+			t.Errorf("binIndex(%v) = %d out of range", x, b)
+		}
+	}
+	if binIndex(5, 0, 8) != 0 {
+		t.Error("zero box should map to bin 0")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRDF(0, 0) },
+		func() { NewVACF(0) },
+		func() { NewMSD1D(0) },
+		func() { NewMSD2D(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("constructor %d should panic on bad bins", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

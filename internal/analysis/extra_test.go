@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"seesaw/internal/lammps"
+)
+
+func TestVelocityHistogramMatchesMaxwellBoltzmann(t *testing.T) {
+	// Equilibrate a box and compare the measured speed distribution
+	// against the Maxwell-Boltzmann curve — a physics-level check of
+	// the whole MD engine.
+	cfg := lammps.DefaultConfig()
+	cfg.Atoms = 512
+	s := lammps.MustNew(cfg)
+	if err := s.Equilibrate(50); err != nil {
+		t.Fatal(err)
+	}
+
+	h := NewVelocityHistogram(20, 5.0)
+	s.Run(60, lammps.RunOptions{EveryStep: func(step int, sys *lammps.System) {
+		if step%3 == 0 {
+			f := sys.Snapshot()
+			h.Consume(&f)
+		}
+	}})
+
+	pdf := h.Result()
+	temp := s.Temperature()
+	dv := 5.0 / 20
+	var maxDiff float64
+	for i, got := range pdf {
+		v := (float64(i) + 0.5) * dv
+		want := MaxwellBoltzmannPDF(v, temp)
+		if d := math.Abs(got - want); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	// The MB peak density is ~0.6 at T=1; allow generous statistical
+	// slack but catch gross shape errors.
+	if maxDiff > 0.15 {
+		t.Errorf("speed distribution deviates from Maxwell-Boltzmann by %v", maxDiff)
+	}
+}
+
+func TestVelocityHistogramEmpty(t *testing.T) {
+	h := NewVelocityHistogram(4, 1)
+	for _, v := range h.Result() {
+		if v != 0 {
+			t.Error("empty histogram should be zero")
+		}
+	}
+}
+
+func TestVelocityHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad bins should panic")
+		}
+	}()
+	NewVelocityHistogram(0, 1)
+}
+
+func TestMaxwellBoltzmannPDF(t *testing.T) {
+	if MaxwellBoltzmannPDF(-1, 1) != 0 || MaxwellBoltzmannPDF(1, 0) != 0 {
+		t.Error("degenerate inputs should give 0")
+	}
+	// The PDF integrates to ~1.
+	var sum float64
+	const dv = 0.01
+	for v := 0.0; v < 10; v += dv {
+		sum += MaxwellBoltzmannPDF(v, 1) * dv
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("MB pdf integrates to %v, want 1", sum)
+	}
+	// Mode at sqrt(2T).
+	mode := math.Sqrt(2.0)
+	if MaxwellBoltzmannPDF(mode, 1) < MaxwellBoltzmannPDF(mode*0.7, 1) ||
+		MaxwellBoltzmannPDF(mode, 1) < MaxwellBoltzmannPDF(mode*1.3, 1) {
+		t.Error("MB pdf mode not at sqrt(2T)")
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := NewComposite(""); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := NewComposite("x"); err == nil {
+		t.Error("no parts should fail")
+	}
+}
+
+func TestCompositeAll(t *testing.T) {
+	frames := makeFrames(t, 5)
+	all := NewAll()
+	if all.Name() != "all" {
+		t.Errorf("name = %q", all.Name())
+	}
+	if len(all.Parts()) != 5 {
+		t.Errorf("parts = %d", len(all.Parts()))
+	}
+	var w lammps.WorkCount
+	for i := range frames {
+		w = all.Consume(&frames[i])
+	}
+	if w.Ops <= 0 {
+		t.Error("composite reported no work")
+	}
+	if len(all.Result()) == 0 {
+		t.Error("composite has no results")
+	}
+	p := all.Profile()
+	// Heaviest part's demand (MSD: 175) dominates.
+	if p.Demand != 175 {
+		t.Errorf("composite demand = %v, want 175", p.Demand)
+	}
+	if p.SecondsPerOp != 1 {
+		t.Errorf("composite SecondsPerOp = %v, want 1 (ops are pre-weighted)", p.SecondsPerOp)
+	}
+	if p.Sensitivity <= 0 || p.Sensitivity > 1 {
+		t.Errorf("composite sensitivity = %v", p.Sensitivity)
+	}
+}
+
+func TestCompositeWorkMatchesPartsSum(t *testing.T) {
+	frames := makeFrames(t, 1)
+	parts := []Analysis{NewMSD(), NewVACF(8)}
+	comp, err := NewComposite("pair", NewMSD(), NewVACF(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, p := range parts {
+		w := p.Consume(&frames[0])
+		want += w.Ops * p.Profile().SecondsPerOp
+	}
+	got := comp.Consume(&frames[0])
+	if math.Abs(got.Ops-want) > 1e-12 {
+		t.Errorf("composite seconds-weighted ops %v != parts sum %v", got.Ops, want)
+	}
+}

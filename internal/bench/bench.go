@@ -1,0 +1,258 @@
+// Package bench defines and runs the paper's experiments: every table
+// and figure of the evaluation (Section VII) has a registered experiment
+// that regenerates its rows/series on the simulated platform. The
+// seesawctl command exposes them on the command line; bench_test.go
+// exposes them as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// Options tune experiment execution.
+type Options struct {
+	// Steps overrides each run's Verlet step count (0 keeps the
+	// experiment's default of 400, the paper's setting). Tests use a
+	// smaller value to keep the suite fast.
+	Steps int
+	// Runs overrides the number of repeated jobs per cell (0 keeps the
+	// experiment default: 3 for medians, 7 for Table I).
+	Runs int
+	// BaseSeed offsets all job seeds, for replicating experiments under
+	// different random draws.
+	BaseSeed uint64
+}
+
+func (o Options) steps(def int) int {
+	if o.Steps > 0 {
+		return o.Steps
+	}
+	return def
+}
+
+func (o Options) runs(def int) int {
+	if o.Runs > 0 {
+		return o.Runs
+	}
+	return def
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	// ID is the artifact identifier: "fig1" ... "fig9b", "table1",
+	// "table2".
+	ID string
+	// Title is the paper artifact's caption summary.
+	Title string
+	// Run executes the experiment and renders its tables to w.
+	Run func(o Options, w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+	order = append(order, e.ID)
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// All returns every experiment in registration (paper) order.
+func All() []Experiment {
+	es := make([]Experiment, 0, len(order))
+	for _, id := range order {
+		es = append(es, registry[id])
+	}
+	return es
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string { return append([]string(nil), order...) }
+
+// sortedIDs returns ids sorted lexicographically (for error messages).
+func sortedIDs() []string {
+	ids := IDs()
+	sort.Strings(ids)
+	return ids
+}
+
+// UnknownExperimentError formats a helpful error for a bad id.
+func UnknownExperimentError(id string) error {
+	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, sortedIDs())
+}
+
+// Experiment-wide defaults mirroring Section VII's setup.
+const (
+	defaultSteps   = 400
+	defaultCap     = units.Watts(110)
+	minCap         = units.Watts(98)
+	maxCap         = units.Watts(215)
+	defaultRuns    = 3
+	table1Runs     = 7
+	slackFromStep  = 10 // the paper averages slack "from the 10th step"
+	defaultDim     = 16
+	defaultBigDim  = 48
+	defaultMidDim  = 36
+	nodes128Half   = 64  // 128-node jobs: 64 sim + 64 ana
+	nodes1024Half  = 512 // 1024-node jobs
+	defaultSeedGap = 7919
+)
+
+// constraintsFor builds the budget for n total nodes at capPerNode.
+func constraintsFor(n int, capPerNode units.Watts) core.Constraints {
+	return core.Constraints{Budget: capPerNode * units.Watts(n), MinCap: minCap, MaxCap: maxCap}
+}
+
+// NewPolicy constructs a policy by name: "static", "seesaw",
+// "power-aware", "time-aware". Window w applies where the paper says it
+// does (SeeSAw and the power-aware scheme; the time-aware one ignores
+// it).
+func NewPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
+	switch name {
+	case "static":
+		return core.NewStatic(), nil
+	case "seesaw":
+		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
+	case "power-aware":
+		cfg := core.DefaultPowerAwareConfig(cons)
+		cfg.Window = w
+		return core.NewPowerAware(cfg)
+	case "time-aware":
+		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
+	default:
+		return nil, fmt.Errorf("bench: unknown policy %q", name)
+	}
+}
+
+// PolicyNames lists the comparable policies in paper order.
+func PolicyNames() []string { return []string{"seesaw", "time-aware", "power-aware"} }
+
+// cell describes one co-simulated job cell.
+type cell struct {
+	spec       workload.Spec
+	policy     string
+	window     int
+	capPerNode units.Watts
+	capMode    cosim.CapMode
+	simStart   units.Watts
+	anaStart   units.Watts
+	jobSeed    uint64
+	runSeed    uint64
+}
+
+// runCell executes one job.
+func runCell(c cell) (*cosim.Result, error) {
+	n := c.spec.SimNodes + c.spec.AnaNodes
+	capPer := c.capPerNode
+	if capPer == 0 {
+		capPer = defaultCap
+	}
+	cons := constraintsFor(n, capPer)
+	w := c.window
+	if w < 1 {
+		w = 1
+	}
+	pol, err := NewPolicy(c.policy, cons, w)
+	if err != nil {
+		return nil, err
+	}
+	mode := c.capMode
+	if mode == 0 && c.policy != "none" {
+		mode = cosim.CapLong
+	}
+	return cosim.Run(cosim.Config{
+		Spec:          c.spec,
+		Policy:        pol,
+		Constraints:   cons,
+		InitialSimCap: c.simStart,
+		InitialAnaCap: c.anaStart,
+		CapMode:       mode,
+		Seed:          c.jobSeed,
+		RunSeed:       c.runSeed,
+		Noise:         machine.DefaultNoise(),
+	})
+}
+
+// medianImprovement runs `runs` jobs of the policy and the static
+// baseline with identical placement per job (the paper's pairing,
+// Section VII-A) and returns the median % runtime improvement over the
+// static baseline, along with the median policy slack.
+func medianImprovement(c cell, runs int, baseSeed uint64) (impPct float64, slack float64, err error) {
+	imps := make([]float64, 0, runs)
+	slacks := make([]float64, 0, runs)
+	for r := 0; r < runs; r++ {
+		seed := baseSeed + uint64(r)*defaultSeedGap
+		c.jobSeed = seed
+		c.runSeed = seed + 1
+
+		pc := c
+		res, err := runCell(pc)
+		if err != nil {
+			return 0, 0, err
+		}
+		sc := c
+		sc.policy = "static"
+		base, err := runCell(sc)
+		if err != nil {
+			return 0, 0, err
+		}
+		imps = append(imps, improvementPct(base.TotalTime, res.TotalTime))
+		slacks = append(slacks, res.SyncLog.MeanSlackFrom(slackFromStep))
+	}
+	return median(imps), median(slacks), nil
+}
+
+// improvementPct is (base - x)/base in percent: positive = faster than
+// the static baseline.
+func improvementPct(base, x units.Seconds) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (float64(base) - float64(x)) / float64(base) * 100
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// spec128 builds a 128-node workload.
+func spec128(dim, j, steps int, analyses []workload.AnalysisTask) workload.Spec {
+	return workload.Spec{
+		SimNodes: nodes128Half, AnaNodes: nodes128Half,
+		Dim: dim, J: j, Steps: steps, Analyses: analyses,
+	}
+}
+
+// specAt builds a workload at an arbitrary total node count (split
+// evenly, as in all of the paper's results).
+func specAt(totalNodes, dim, j, steps int, analyses []workload.AnalysisTask) workload.Spec {
+	return workload.Spec{
+		SimNodes: totalNodes / 2, AnaNodes: totalNodes - totalNodes/2,
+		Dim: dim, J: j, Steps: steps, Analyses: analyses,
+	}
+}

@@ -1,0 +1,186 @@
+// Experiments for the paper's motivating artifacts: the Figure 1 power
+// trace, the Figure 2 two-task illustration, and the Table I variability
+// study.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/stats"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Fig 1: power trace of simulation and analysis nodes exposing periodic synchronization (200 ms sampling)",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Fig 2: shifting power between two tasks so both finish at an earlier, equal time",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I: run-to-run and job-to-job variability across 7 runs for different power-cap types (128 nodes)",
+		Run:   runTable1,
+	})
+}
+
+// runFig1 reproduces the Figure 1 trace: an uncapped LAMMPS+RDF job where
+// the analysis idles at ~105 W waiting to synchronize with the
+// simulation each step.
+func runFig1(o Options, w io.Writer) error {
+	res, err := cosim.Run(cosim.Config{
+		Spec:          spec128(defaultDim, 1, o.steps(40), workload.Tasks("rdf")),
+		CapMode:       cosim.CapNone,
+		Seed:          o.BaseSeed + 1,
+		Noise:         machine.DefaultNoise(),
+		TraceSegments: true,
+	})
+	if err != nil {
+		return err
+	}
+	const period = 0.2 // the paper samples power every 200 ms
+	sim := cosim.SampleSegments(res.SimSegments, period)
+	ana := cosim.SampleSegments(res.AnaSegments, period)
+
+	tbl := trace.NewTable("Power trace (one sample per 2 s shown; full trace sampled at 200 ms)",
+		"t (s)", "sim node (W)", "analysis node (W)")
+	for i := 0; i < len(sim) && i < len(ana); i += 10 {
+		tbl.AddRow(fmt.Sprintf("%.1f", float64(sim[i].Time)), sim[i].Value, ana[i].Value)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	// Summary statistics: the trough behaviour the figure demonstrates.
+	simMean := stats.Mean(sampleValues(sim))
+	anaMean := stats.Mean(sampleValues(ana))
+	anaIdle := idleFraction(ana, 106)
+	sum := trace.NewTable("Summary", "metric", "value")
+	sum.AddRow("sim node mean power (W)", simMean)
+	sum.AddRow("analysis node mean power (W)", anaMean)
+	sum.AddRow("analysis samples at/below idle plateau (~105 W)", fmt.Sprintf("%.0f%%", anaIdle*100))
+	sum.AddRow("samples", len(ana))
+	return sum.Render(w)
+}
+
+func sampleValues(ss []trace.Sample) []float64 {
+	vs := make([]float64, len(ss))
+	for i, s := range ss {
+		vs[i] = s.Value
+	}
+	return vs
+}
+
+// idleFraction reports the fraction of samples at or below the idle
+// plateau threshold.
+func idleFraction(ss []trace.Sample, threshold float64) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range ss {
+		if s.Value <= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ss))
+}
+
+// runFig2 computes the paper's illustration: blue task 90 W/100 s, red
+// task 120 W/60 s under a 210 W budget; the energy-proportional split
+// equalizes both at ~77 s.
+func runFig2(o Options, w io.Writer) error {
+	const (
+		budget = units.Watts(210)
+		blueP  = units.Watts(90)
+		blueT  = units.Seconds(100)
+		redP   = units.Watts(120)
+		redT   = units.Seconds(60)
+	)
+	optBlue, optRed := core.OptimalSplit(budget, blueT, blueP, redT, redP)
+	tstar := core.PredictEqualTime(budget, blueT, blueP, redT, redP)
+
+	tbl := trace.NewTable("Fig 2: SeeSAw split for the two-task illustration (C = 210 W)",
+		"task", "initial power (W)", "initial time (s)", "optimal power (W)", "predicted time (s)")
+	tbl.AddRow("blue (slow)", blueP, blueT, optBlue, tstar)
+	tbl.AddRow("red (fast)", redP, redT, optRed, tstar)
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "iteration time %.1f s -> %.1f s (paper: ~77 s)\n",
+		float64(blueT), float64(tstar))
+	return err
+}
+
+// runTable1 measures run-to-run and job-to-job variability under the
+// three cap types of Table I.
+func runTable1(o Options, w io.Writer) error {
+	runs := o.runs(table1Runs)
+	steps := o.steps(defaultSteps)
+
+	type capType struct {
+		label string
+		mode  cosim.CapMode
+	}
+	capTypes := []capType{
+		{"None", cosim.CapNone},
+		{"Long (110 W)", cosim.CapLong},
+		{"Long and Short (110 W each)", cosim.CapLongShort},
+	}
+	dims := []int{defaultMidDim, defaultBigDim}
+
+	tbl := trace.NewTable("Table I: variability across runs (128 nodes, LAMMPS+all analyses)",
+		"Power Cap", "dim", "Variability Type", "Variability %")
+
+	for _, ct := range capTypes {
+		for _, dim := range dims {
+			spec := spec128(dim, 1, steps, workload.AllAnalysesForDim(dim))
+
+			// Run-to-run: same job (same node skews), varying jitter.
+			var runTimes []float64
+			for r := 0; r < runs; r++ {
+				res, err := cosim.Run(cosim.Config{
+					Spec: spec, CapMode: ct.mode,
+					Constraints: constraintsFor(2*nodes128Half, defaultCap),
+					Seed:        o.BaseSeed + 11,
+					RunSeed:     o.BaseSeed + 100 + uint64(r)*defaultSeedGap,
+					Noise:       machine.DefaultNoise(),
+				})
+				if err != nil {
+					return err
+				}
+				runTimes = append(runTimes, float64(res.TotalTime))
+			}
+			tbl.AddRow(ct.label, dim, "run-to-run", stats.VariabilityPct(runTimes))
+
+			// Job-to-job: fresh node allocation per job.
+			var jobTimes []float64
+			for r := 0; r < runs; r++ {
+				seed := o.BaseSeed + 500 + uint64(r)*defaultSeedGap
+				res, err := cosim.Run(cosim.Config{
+					Spec: spec, CapMode: ct.mode,
+					Constraints: constraintsFor(2*nodes128Half, defaultCap),
+					Seed:        seed,
+					RunSeed:     seed + 1,
+					Noise:       machine.DefaultNoise(),
+				})
+				if err != nil {
+					return err
+				}
+				jobTimes = append(jobTimes, float64(res.TotalTime))
+			}
+			tbl.AddRow(ct.label, dim, "job-to-job", stats.VariabilityPct(jobTimes))
+		}
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,136 @@
+// Self-test: the paper's headline qualitative claims, runnable as a
+// single command (`seesawctl selftest`). Each check runs moderate-size
+// cells through the full stack and asserts an ordering, not a magnitude
+// — the same invariants the test suite pins, exposed to users verifying
+// an installation or a modified calibration.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// SelfTestResult is one check's outcome.
+type SelfTestResult struct {
+	Name   string
+	Detail string
+	Pass   bool
+}
+
+// RunSelfTest executes every headline check, streaming results to w, and
+// reports whether all passed.
+func RunSelfTest(o Options, w io.Writer) (bool, error) {
+	steps := o.steps(150)
+	type check struct {
+		name string
+		run  func() (SelfTestResult, error)
+	}
+
+	imp := func(policy string, spec workload.Spec, seed uint64) (float64, error) {
+		v, _, err := medianImprovement(cell{spec: spec, policy: policy, window: 1}, 1, seed)
+		return v, err
+	}
+
+	checks := []check{
+		{"seesaw wins on the high-demand analysis (full MSD)", func() (SelfTestResult, error) {
+			spec := spec128(defaultDim, 1, 400, workload.Tasks("msd"))
+			ss, err := imp("seesaw", spec, o.BaseSeed+1003)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			ta, err := imp("time-aware", spec, o.BaseSeed+1003)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			pa, err := imp("power-aware", spec, o.BaseSeed+1003)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			return SelfTestResult{
+				Detail: fmt.Sprintf("seesaw %+.2f%%, time-aware %+.2f%%, power-aware %+.2f%%", ss, ta, pa),
+				Pass:   ss > 0 && ss > ta && ss > pa,
+			}, nil
+		}},
+		{"power-aware loses across workloads", func() (SelfTestResult, error) {
+			worst := 100.0
+			for _, cs := range []analysisCase{
+				{"msd", defaultDim, workload.Tasks("msd")},
+				{"vacf", defaultMidDim, workload.Tasks("vacf")},
+			} {
+				v, err := imp("power-aware", spec128(cs.dim, 1, steps, cs.analyses), o.BaseSeed+1005)
+				if err != nil {
+					return SelfTestResult{}, err
+				}
+				if v < worst {
+					worst = v
+				}
+				if v > 1.0 {
+					return SelfTestResult{Detail: fmt.Sprintf("%s improved %+.2f%%", cs.label, v)}, nil
+				}
+			}
+			return SelfTestResult{Detail: fmt.Sprintf("worst %+.2f%%", worst), Pass: true}, nil
+		}},
+		{"time-aware competitive on low-demand analyses", func() (SelfTestResult, error) {
+			v, err := imp("time-aware", spec128(defaultMidDim, 1, steps, workload.Tasks("vacf")), o.BaseSeed+1007)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			return SelfTestResult{Detail: fmt.Sprintf("vacf %+.2f%%", v), Pass: v > 3}, nil
+		}},
+		{"seesaw local optimum below the time-aware reference on low demand", func() (SelfTestResult, error) {
+			spec := spec128(defaultMidDim, 1, steps, workload.Tasks("vacf"))
+			ss, err := imp("seesaw", spec, o.BaseSeed+1009)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			ta, err := imp("time-aware", spec, o.BaseSeed+1009)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			return SelfTestResult{
+				Detail: fmt.Sprintf("seesaw %+.2f%% < time-aware %+.2f%%, both > 0", ss, ta),
+				Pass:   ss > 0 && ta > ss,
+			}, nil
+		}},
+		{"diminishing returns past ~140 W (fig 8 shape)", func() (SelfTestResult, error) {
+			spec := spec128(defaultDim, 1, steps, workload.AllAnalyses())
+			at := func(c units.Watts) (float64, error) {
+				v, _, err := medianImprovement(cell{spec: spec, policy: "seesaw", window: 1, capPerNode: c},
+					1, o.BaseSeed+1011)
+				return v, err
+			}
+			peak, err := at(115)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			loose, err := at(150)
+			if err != nil {
+				return SelfTestResult{}, err
+			}
+			return SelfTestResult{
+				Detail: fmt.Sprintf("115 W: %+.2f%%, 150 W: %+.2f%%", peak, loose),
+				Pass:   peak > loose+1,
+			}, nil
+		}},
+	}
+
+	all := true
+	for _, c := range checks {
+		res, err := c.run()
+		if err != nil {
+			return false, fmt.Errorf("selftest %q: %w", c.name, err)
+		}
+		status := "PASS"
+		if !res.Pass {
+			status = "FAIL"
+			all = false
+		}
+		if _, err := fmt.Fprintf(w, "%-4s %s (%s)\n", status, c.name, res.Detail); err != nil {
+			return false, err
+		}
+	}
+	return all, nil
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/units"
+)
+
+func newPowerAware(t *testing.T) *PowerAware {
+	t.Helper()
+	p, err := NewPowerAware(DefaultPowerAwareConfig(testConstraints()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newTimeAware(t *testing.T) *TimeAware {
+	t.Helper()
+	ta, err := NewTimeAware(DefaultTimeAwareConfig(testConstraints()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ta
+}
+
+func TestPowerAwareValidation(t *testing.T) {
+	cfg := DefaultPowerAwareConfig(testConstraints())
+	cfg.Window = 0
+	if _, err := NewPowerAware(cfg); err == nil {
+		t.Error("window 0 should be rejected")
+	}
+	bad := DefaultPowerAwareConfig(Constraints{})
+	if _, err := NewPowerAware(bad); err == nil {
+		t.Error("empty constraints should be rejected")
+	}
+}
+
+func TestPowerAwareNoActionWithoutNeedyNodes(t *testing.T) {
+	p := newPowerAware(t)
+	// Everyone well below the cap: SLURM's scheme "takes action only if
+	// nodes are at the power cap".
+	if got := p.Allocate(1, measures(4, 4, 100, 100, 110)); got != nil {
+		t.Error("no node at cap: expected no action")
+	}
+}
+
+func TestPowerAwareShiftsToCappedNodes(t *testing.T) {
+	p := newPowerAware(t)
+	// Analysis at the cap, simulation below: power must flow to the
+	// analysis nodes.
+	caps := p.Allocate(1, measures(4, 4, 104, 110, 110))
+	if caps == nil {
+		t.Fatal("expected reallocation")
+	}
+	if !(caps[4] > 110) {
+		t.Errorf("needy node cap %v did not increase", caps[4])
+	}
+	if !(caps[0] < 110) {
+		t.Errorf("donor node cap %v did not decrease", caps[0])
+	}
+}
+
+func TestPowerAwareConservesBudget(t *testing.T) {
+	f := func(rawSimP, rawAnaP float64) bool {
+		p := MustNewPowerAware(DefaultPowerAwareConfig(testConstraints()))
+		simP := units.Watts(98 + math.Abs(math.Mod(rawSimP, 17)))
+		anaP := units.Watts(98 + math.Abs(math.Mod(rawAnaP, 17)))
+		caps := p.Allocate(1, measures(4, 4, simP, anaP, 110))
+		if caps == nil {
+			return true
+		}
+		var total units.Watts
+		for _, c := range caps {
+			if c < 98 || c > 215 {
+				return false
+			}
+			total += c
+		}
+		// The scheme only moves existing budget around.
+		return float64(total) <= 8*110+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerAwareWindow(t *testing.T) {
+	cfg := DefaultPowerAwareConfig(testConstraints())
+	cfg.Window = 2
+	p := MustNewPowerAware(cfg)
+	if got := p.Allocate(1, measures(4, 4, 104, 110, 110)); got != nil {
+		t.Error("w=2: no action expected at step 1")
+	}
+	if got := p.Allocate(2, measures(4, 4, 104, 110, 110)); got == nil {
+		t.Error("w=2: action expected at step 2")
+	}
+}
+
+func TestPowerAwareNeverTrimsBelowMin(t *testing.T) {
+	p := newPowerAware(t)
+	ms := measures(4, 4, 99, 110, 110)
+	// Donors measured at 99 W: trim target clamps at delta_min.
+	caps := p.Allocate(1, ms)
+	if caps == nil {
+		t.Fatal("expected reallocation")
+	}
+	for _, c := range caps {
+		if c < 98 {
+			t.Errorf("cap %v below delta_min", c)
+		}
+	}
+}
+
+func TestTimeAwareValidation(t *testing.T) {
+	base := DefaultTimeAwareConfig(testConstraints())
+	for _, mut := range []func(*TimeAwareConfig){
+		func(c *TimeAwareConfig) { c.TargetSlack = 0 },
+		func(c *TimeAwareConfig) { c.TargetSlack = 1 },
+		func(c *TimeAwareConfig) { c.InitialStep = 0 },
+		func(c *TimeAwareConfig) { c.MinStep = 0 },
+		func(c *TimeAwareConfig) { c.MinStep = 100 },
+		func(c *TimeAwareConfig) { c.StepDecay = 0 },
+		func(c *TimeAwareConfig) { c.StepDecay = 1.5 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := NewTimeAware(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}
+
+func TestTimeAwareShiftsFromFastToSlow(t *testing.T) {
+	ta := newTimeAware(t)
+	// Analysis much faster: it donates, the simulation gains.
+	caps := ta.Allocate(1, measures(10, 2, 108, 108, 110))
+	if caps == nil {
+		t.Fatal("expected reallocation")
+	}
+	if !(caps[0] > 110) {
+		t.Errorf("slow sim cap %v should rise", caps[0])
+	}
+	if !(caps[4] < 110) {
+		t.Errorf("fast ana cap %v should fall", caps[4])
+	}
+}
+
+func TestTimeAwareFreezesWhenBalanced(t *testing.T) {
+	ta := newTimeAware(t)
+	// All nodes within the target slack: nobody donates.
+	caps := ta.Allocate(1, measures(10, 9.95, 108, 108, 110))
+	var moved bool
+	for _, c := range caps {
+		if c != 110 {
+			moved = true
+		}
+	}
+	if moved {
+		t.Error("balanced times should leave caps unchanged")
+	}
+}
+
+func TestTimeAwareStepDecay(t *testing.T) {
+	ta := newTimeAware(t)
+	first := ta.Step()
+	for i := 1; i <= 30; i++ {
+		ta.Allocate(i, measures(10, 2, 108, 108, 110))
+	}
+	if got := ta.Step(); got >= first {
+		t.Errorf("step did not decay: %v -> %v", first, got)
+	}
+	if got := ta.Step(); got < DefaultTimeAwareConfig(testConstraints()).MinStep {
+		t.Errorf("step decayed below the configured minimum: %v", got)
+	}
+}
+
+func TestTimeAwareUsesEpochTime(t *testing.T) {
+	ta := newTimeAware(t)
+	// Busy times say the analysis is much faster, but epoch times
+	// (including the wait) say everyone is equal: the balancer must see
+	// the epoch view and do nothing.
+	ms := measures(10, 2, 108, 108, 110)
+	for i := range ms {
+		ms[i].EpochTime = 10
+	}
+	caps := ta.Allocate(1, ms)
+	for _, c := range caps {
+		if c != 110 {
+			t.Fatal("epoch-equal times should freeze the balancer")
+		}
+	}
+}
+
+func TestTimeAwareRespectsBounds(t *testing.T) {
+	f := func(rawT float64) bool {
+		ta := MustNewTimeAware(DefaultTimeAwareConfig(testConstraints()))
+		anaT := units.Seconds(0.1 + math.Abs(math.Mod(rawT, 20)))
+		var caps []units.Watts
+		for i := 1; i <= 20; i++ {
+			caps = ta.Allocate(i, measures(10, anaT, 108, 108, 110))
+		}
+		if caps == nil {
+			return true
+		}
+		for _, c := range caps {
+			if c < 98 || c > 215 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeAwareEmptyNodes(t *testing.T) {
+	ta := newTimeAware(t)
+	if got := ta.Allocate(1, nil); got != nil {
+		t.Error("empty node list should return nil")
+	}
+	if got := ta.Allocate(1, measures(0, 0, 100, 100, 110)); got != nil {
+		t.Error("all-zero times should return nil")
+	}
+}
+
+func TestMustConstructorsPanic(t *testing.T) {
+	for i, fn := range []func(){
+		func() { MustNewPowerAware(PowerAwareConfig{}) },
+		func() { MustNewTimeAware(TimeAwareConfig{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("must-constructor %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPolicyNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []Policy{NewStatic(), MustNewSeeSAw(SeeSAwConfig{Constraints: testConstraints(), Window: 1}),
+		MustNewPowerAware(DefaultPowerAwareConfig(testConstraints())),
+		MustNewTimeAware(DefaultTimeAwareConfig(testConstraints()))} {
+		if names[p.Name()] {
+			t.Errorf("duplicate policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+}

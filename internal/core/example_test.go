@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/units"
+)
+
+// The paper's Figure 2 numbers: a 210 W budget shared by a slow 90 W
+// task and a fast 120 W task.
+func ExampleOptimalSplit() {
+	blue, red := core.OptimalSplit(210, 100, 90, 60, 120)
+	fmt.Printf("blue %.1f W, red %.1f W\n", float64(blue), float64(red))
+	// Output: blue 116.7 W, red 93.3 W
+}
+
+func ExamplePredictEqualTime() {
+	t := core.PredictEqualTime(210, 100, 90, 60, 120)
+	fmt.Printf("both finish at %.1f s\n", float64(t))
+	// Output: both finish at 77.1 s
+}
+
+// A minimal online allocation: four simulation nodes measure equal times
+// but lower power than four analysis nodes, so SeeSAw hands the analysis
+// partition more of the budget.
+func ExampleSeeSAw_Allocate() {
+	cons := core.Constraints{Budget: 110 * 8, MinCap: 98, MaxCap: 215}
+	ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1})
+
+	var nodes []core.NodeMeasure
+	for i := 0; i < 8; i++ {
+		role := core.RoleSimulation
+		power := 104.0
+		if i >= 4 {
+			role = core.RoleAnalysis
+			power = 112.0
+		}
+		nodes = append(nodes, core.NodeMeasure{
+			Role: role, Time: 4.0, BusyTime: 4.0, Power: units.Watts(power), Cap: 110,
+		})
+	}
+	caps := ss.Allocate(1, nodes)
+	fmt.Printf("sim %.1f W, ana %.1f W\n", float64(caps[0]), float64(caps[4]))
+	// Output: sim 105.9 W, ana 114.1 W
+}

@@ -1,0 +1,204 @@
+// Package core implements the power-allocation policies the paper
+// studies for power-constrained space-shared in-situ analysis:
+//
+//   - SeeSAw (the paper's contribution, Section IV): energy-feedback
+//     allocation that rebalances the global budget between the
+//     simulation and analysis partitions so both reach synchronization
+//     points at the same time;
+//   - the strictly power-aware policy (SLURM's scheme, Section II):
+//     shift excess power from nodes below their cap to nodes at it;
+//   - the strictly time-aware policy (GEOPM's power balancer,
+//     Section II): shift power from faster to slower nodes with a
+//     decaying step;
+//   - the static baseline: the budget split evenly once and never moved.
+//
+// All policies are strictly online: they see only per-node (time, power,
+// cap) measurements from the interval that just completed, and emit new
+// per-node power caps.
+package core
+
+import (
+	"fmt"
+
+	"seesaw/internal/units"
+)
+
+// Role labels a node as belonging to the simulation or the analysis
+// partition (the application knowledge PoLiMER's instrumentation
+// supplies).
+type Role int
+
+// Partition roles.
+const (
+	RoleSimulation Role = iota
+	RoleAnalysis
+)
+
+// String returns "sim" or "ana".
+func (r Role) String() string {
+	if r == RoleSimulation {
+		return "sim"
+	}
+	return "ana"
+}
+
+// NodeMeasure is what one node reports for the interval between two
+// invocations of the allocator.
+type NodeMeasure struct {
+	// Role is the node's partition membership.
+	Role Role
+	// Time is the interval between the node's consecutive allocator
+	// calls (poli_power_alloc is invoked immediately before each
+	// synchronization, so a faster node's interval includes its wait at
+	// the previous synchronization), including the time to perform the
+	// previous allocation — the paper's Section VI-B measurement.
+	Time units.Seconds
+	// BusyTime is the node's pure work time within the interval,
+	// excluding synchronization waits; the harness uses it for the
+	// normalized-slack bookkeeping of Figures 4 and 5.
+	BusyTime units.Seconds
+	// EpochTime is the node's iteration time as a loop-level monitor
+	// (GEOPM's epoch) sees it: it includes part of the synchronization
+	// wait, because the epoch markers bracket the whole loop body
+	// rather than the work leading up to the synchronization. The
+	// time-aware policy consumes this measure (falling back to Time
+	// when zero); SeeSAw deliberately uses Time, which PoLiMER's
+	// instrumentation ties to the synchronization event — one of the
+	// paper's central points about application knowledge.
+	EpochTime units.Seconds
+	// Power is the node's average measured power over the interval.
+	Power units.Watts
+	// Cap is the per-node power cap that was in force.
+	Cap units.Watts
+}
+
+// Constraints bound every allocation.
+type Constraints struct {
+	// Budget is the global power budget C for the whole job.
+	Budget units.Watts
+	// MinCap is delta_min: the lowest per-node cap hardware supports.
+	MinCap units.Watts
+	// MaxCap is delta_max: the highest per-node cap (TDP).
+	MaxCap units.Watts
+}
+
+// Validate reports constraint errors.
+func (c Constraints) Validate(nodes int) error {
+	if c.Budget <= 0 {
+		return fmt.Errorf("core: budget must be positive, got %v", c.Budget)
+	}
+	if c.MinCap <= 0 || c.MaxCap <= c.MinCap {
+		return fmt.Errorf("core: invalid cap range [%v, %v]", c.MinCap, c.MaxCap)
+	}
+	if nodes > 0 && c.Budget < c.MinCap*units.Watts(nodes) {
+		return fmt.Errorf("core: budget %v below minimum %v for %d nodes",
+			c.Budget, c.MinCap*units.Watts(nodes), nodes)
+	}
+	return nil
+}
+
+// Policy is an online power-allocation strategy. Allocate is invoked at
+// each simulation-analysis synchronization with the measurements of the
+// interval that just ended; it returns new per-node caps (aligned with
+// nodes), or nil to leave caps unchanged.
+type Policy interface {
+	// Name identifies the policy ("seesaw", "power-aware",
+	// "time-aware", "static").
+	Name() string
+	// Allocate computes new per-node caps. step counts
+	// synchronizations from 1; step 0 (outside the main loop) is never
+	// passed.
+	Allocate(step int, nodes []NodeMeasure) []units.Watts
+}
+
+// Static is the paper's baseline: the global budget split evenly across
+// nodes once, never changed. Allocate always returns nil.
+type Static struct{}
+
+// NewStatic returns the static baseline policy.
+func NewStatic() *Static { return &Static{} }
+
+// Name implements Policy.
+func (*Static) Name() string { return "static" }
+
+// Allocate implements Policy; the static policy never moves power.
+func (*Static) Allocate(int, []NodeMeasure) []units.Watts { return nil }
+
+// EvenSplit returns the per-node cap of an even division of the budget,
+// clamped to the constraint range; the harness uses it for initial caps.
+func EvenSplit(c Constraints, nodes int) units.Watts {
+	if nodes <= 0 {
+		return 0
+	}
+	return units.ClampWatts(c.Budget/units.Watts(nodes), c.MinCap, c.MaxCap)
+}
+
+// partitionTotals aggregates per-node measurements into the partition
+// quantities SeeSAw's formulation uses: the slowest node time and the
+// summed power of each partition.
+func partitionTotals(nodes []NodeMeasure) (simT, anaT units.Seconds, simP, anaP units.Watts, nSim, nAna int) {
+	for _, n := range nodes {
+		switch n.Role {
+		case RoleSimulation:
+			nSim++
+			simP += n.Power
+			if n.Time > simT {
+				simT = n.Time
+			}
+		case RoleAnalysis:
+			nAna++
+			anaP += n.Power
+			if n.Time > anaT {
+				anaT = n.Time
+			}
+		}
+	}
+	return
+}
+
+// clampPartitionCaps enforces the delta_min/delta_max rule of Section
+// IV-A on per-node partition caps pS, pA for nSim and nAna nodes under
+// budget C: if one partition's per-node cap falls outside the supported
+// range it is pinned to the bound and the other partition receives the
+// remaining power; handling delta_max takes priority in ties.
+func clampPartitionCaps(pS, pA units.Watts, nSim, nAna int, c Constraints) (units.Watts, units.Watts) {
+	remainder := func(pinned units.Watts, nPinned, nOther int) units.Watts {
+		if nOther == 0 {
+			return pinned
+		}
+		rest := (c.Budget - pinned*units.Watts(nPinned)) / units.Watts(nOther)
+		return units.ClampWatts(rest, c.MinCap, c.MaxCap)
+	}
+	// delta_max first (tie priority).
+	switch {
+	case pS > c.MaxCap:
+		pS = c.MaxCap
+		pA = remainder(pS, nSim, nAna)
+	case pA > c.MaxCap:
+		pA = c.MaxCap
+		pS = remainder(pA, nAna, nSim)
+	}
+	switch {
+	case pS < c.MinCap:
+		pS = c.MinCap
+		pA = remainder(pS, nSim, nAna)
+	case pA < c.MinCap:
+		pA = c.MinCap
+		pS = remainder(pA, nAna, nSim)
+	}
+	return pS, pA
+}
+
+// expandPartitionCaps materializes per-node cap slices from per-node
+// partition values, aligned with the nodes slice.
+func expandPartitionCaps(nodes []NodeMeasure, pS, pA units.Watts) []units.Watts {
+	caps := make([]units.Watts, len(nodes))
+	for i, n := range nodes {
+		if n.Role == RoleSimulation {
+			caps[i] = pS
+		} else {
+			caps[i] = pA
+		}
+	}
+	return caps
+}

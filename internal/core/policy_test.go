@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/units"
+)
+
+func testConstraints() Constraints {
+	return Constraints{Budget: 110 * 8, MinCap: 98, MaxCap: 215}
+}
+
+// measures builds a 4+4 node measurement set with given partition times
+// and per-node powers.
+func measures(simT, anaT units.Seconds, simP, anaP units.Watts, cap units.Watts) []NodeMeasure {
+	var ms []NodeMeasure
+	for i := 0; i < 4; i++ {
+		ms = append(ms, NodeMeasure{Role: RoleSimulation, Time: simT, BusyTime: simT, EpochTime: simT, Power: simP, Cap: cap})
+	}
+	for i := 0; i < 4; i++ {
+		ms = append(ms, NodeMeasure{Role: RoleAnalysis, Time: anaT, BusyTime: anaT, EpochTime: anaT, Power: anaP, Cap: cap})
+	}
+	return ms
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleSimulation.String() != "sim" || RoleAnalysis.String() != "ana" {
+		t.Error("role strings wrong")
+	}
+}
+
+func TestConstraintsValidate(t *testing.T) {
+	good := testConstraints()
+	if err := good.Validate(8); err != nil {
+		t.Errorf("valid constraints rejected: %v", err)
+	}
+	bad := []Constraints{
+		{Budget: 0, MinCap: 98, MaxCap: 215},
+		{Budget: 1000, MinCap: 0, MaxCap: 215},
+		{Budget: 1000, MinCap: 215, MaxCap: 98},
+		{Budget: 100, MinCap: 98, MaxCap: 215}, // below 8*98
+	}
+	for i, c := range bad {
+		if err := c.Validate(8); err == nil {
+			t.Errorf("constraints %d should be rejected", i)
+		}
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := NewStatic()
+	if s.Name() != "static" {
+		t.Error("wrong name")
+	}
+	if got := s.Allocate(1, measures(4, 4, 108, 108, 110)); got != nil {
+		t.Error("static policy must never reallocate")
+	}
+}
+
+func TestEvenSplit(t *testing.T) {
+	c := testConstraints()
+	if got := EvenSplit(c, 8); got != 110 {
+		t.Errorf("EvenSplit = %v, want 110", got)
+	}
+	if got := EvenSplit(c, 0); got != 0 {
+		t.Errorf("EvenSplit with zero nodes = %v", got)
+	}
+	// Clamped to MinCap when budget is tight relative to node count.
+	tight := Constraints{Budget: 98 * 10, MinCap: 98, MaxCap: 215}
+	if got := EvenSplit(tight, 10); got != 98 {
+		t.Errorf("tight EvenSplit = %v, want 98", got)
+	}
+}
+
+func TestClampPartitionCaps(t *testing.T) {
+	c := testConstraints() // budget 880, caps [98,215], 4+4 nodes
+
+	// Below delta_min: pinned, remainder to the other side.
+	s, a := clampPartitionCaps(90, 130, 4, 4, c)
+	if s != 98 {
+		t.Errorf("sim cap = %v, want delta_min 98", s)
+	}
+	wantA := units.ClampWatts((c.Budget-98*4)/4, c.MinCap, c.MaxCap)
+	if a != wantA {
+		t.Errorf("ana cap = %v, want remainder %v", a, wantA)
+	}
+
+	// Above delta_max: pinned at 215.
+	s, a = clampPartitionCaps(300, 10, 4, 4, c)
+	if s != 215 {
+		t.Errorf("sim cap = %v, want delta_max", s)
+	}
+	if a < c.MinCap || a > c.MaxCap {
+		t.Errorf("ana cap %v outside range", a)
+	}
+
+	// In range: untouched.
+	s, a = clampPartitionCaps(120, 100, 4, 4, c)
+	if s != 120 || a != 100 {
+		t.Errorf("in-range caps modified: %v/%v", s, a)
+	}
+}
+
+func TestClampPartitionCapsProperty(t *testing.T) {
+	c := testConstraints()
+	f := func(rawS, rawA float64) bool {
+		ps := units.Watts(math.Abs(math.Mod(rawS, 400)))
+		pa := units.Watts(math.Abs(math.Mod(rawA, 400)))
+		s, a := clampPartitionCaps(ps, pa, 4, 4, c)
+		return s >= c.MinCap && s <= c.MaxCap && a >= c.MinCap && a <= c.MaxCap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionTotals(t *testing.T) {
+	ms := measures(5, 3, 100, 105, 110)
+	ms[1].Time = 7 // one slow sim node
+	simT, anaT, simP, anaP, nSim, nAna := partitionTotals(ms)
+	if simT != 7 || anaT != 3 {
+		t.Errorf("partition times = %v/%v", simT, anaT)
+	}
+	if simP != 400 || anaP != 420 {
+		t.Errorf("partition powers = %v/%v", simP, anaP)
+	}
+	if nSim != 4 || nAna != 4 {
+		t.Errorf("partition sizes = %d/%d", nSim, nAna)
+	}
+}
+
+func TestExpandPartitionCaps(t *testing.T) {
+	ms := measures(1, 1, 100, 100, 110)
+	caps := expandPartitionCaps(ms, 120, 100)
+	for i, m := range ms {
+		want := units.Watts(100)
+		if m.Role == RoleSimulation {
+			want = 120
+		}
+		if caps[i] != want {
+			t.Errorf("cap[%d] = %v, want %v", i, caps[i], want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// PowerShift-style baseline: the paper's closest related work (Zhang &
+// Hoffmann, ICPP'18) shifts power between coupled applications using
+// power and performance profiles collected OFFLINE — the paper contrasts
+// SeeSAw's fully online feedback against exactly this design ("SeeSAw
+// obtains feedback dynamically... does not require any time or power
+// information up front"). This reimplementation lets the repository
+// demonstrate that trade-off: an offline profile is optimal when the
+// workload matches it and misleads when it does not.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"seesaw/internal/units"
+)
+
+// ProfilePoint is one row of an offline power/performance profile: the
+// partition's measured interval time when running at a given per-node
+// power cap.
+type ProfilePoint struct {
+	PerNode units.Watts
+	Time    units.Seconds
+}
+
+// Profile is an offline-collected power-to-time curve for one partition,
+// sorted by power.
+type Profile []ProfilePoint
+
+// Validate reports malformed profiles.
+func (p Profile) Validate() error {
+	if len(p) < 2 {
+		return fmt.Errorf("core: profile needs at least 2 points, got %d", len(p))
+	}
+	if !sort.SliceIsSorted(p, func(i, j int) bool { return p[i].PerNode < p[j].PerNode }) {
+		return fmt.Errorf("core: profile must be sorted by power")
+	}
+	for i, pt := range p {
+		if pt.PerNode <= 0 || pt.Time <= 0 {
+			return fmt.Errorf("core: profile point %d non-positive: %+v", i, pt)
+		}
+	}
+	return nil
+}
+
+// TimeAt linearly interpolates the profiled interval time at the given
+// per-node power, clamping to the profile's ends.
+func (p Profile) TimeAt(w units.Watts) units.Seconds {
+	if w <= p[0].PerNode {
+		return p[0].Time
+	}
+	last := p[len(p)-1]
+	if w >= last.PerNode {
+		return last.Time
+	}
+	i := sort.Search(len(p), func(i int) bool { return p[i].PerNode >= w })
+	lo, hi := p[i-1], p[i]
+	frac := float64(w-lo.PerNode) / float64(hi.PerNode-lo.PerNode)
+	return lo.Time + units.Seconds(frac*float64(hi.Time-lo.Time))
+}
+
+// PowerShiftConfig parameterizes the profile-driven allocator.
+type PowerShiftConfig struct {
+	// Constraints carry the budget and cap range.
+	Constraints Constraints
+	// SimProfile and AnaProfile are the offline power-to-time curves of
+	// the two partitions.
+	SimProfile, AnaProfile Profile
+	// GridStep is the sweep granularity when minimizing the predicted
+	// max time over feasible splits.
+	GridStep units.Watts
+}
+
+// PowerShift chooses, once, the budget split minimizing the profiles'
+// predicted max(T_sim, T_ana), and holds it: with no online feedback
+// there is nothing to adapt to. Exactly as strong — and as brittle — as
+// its profiles.
+type PowerShift struct {
+	cfg    PowerShiftConfig
+	chosen bool
+	simCap units.Watts
+	anaCap units.Watts
+}
+
+// NewPowerShift builds the profile-driven allocator.
+func NewPowerShift(cfg PowerShiftConfig) (*PowerShift, error) {
+	if err := cfg.Constraints.Validate(0); err != nil {
+		return nil, err
+	}
+	if err := cfg.SimProfile.Validate(); err != nil {
+		return nil, fmt.Errorf("sim profile: %w", err)
+	}
+	if err := cfg.AnaProfile.Validate(); err != nil {
+		return nil, fmt.Errorf("ana profile: %w", err)
+	}
+	if cfg.GridStep <= 0 {
+		cfg.GridStep = 1
+	}
+	return &PowerShift{cfg: cfg}, nil
+}
+
+// MustNewPowerShift panics on configuration errors.
+func MustNewPowerShift(cfg PowerShiftConfig) *PowerShift {
+	p, err := NewPowerShift(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Name implements Policy.
+func (*PowerShift) Name() string { return "powershift" }
+
+// ChosenSplit returns the per-node caps the profiles selected (zero
+// before the first allocation).
+func (p *PowerShift) ChosenSplit() (sim, ana units.Watts) { return p.simCap, p.anaCap }
+
+// Allocate implements Policy: on the first call it sweeps feasible
+// splits, picks the profile-predicted optimum, and returns it; afterwards
+// it returns nil (no adaptation — the defining limitation the paper
+// calls out).
+func (p *PowerShift) Allocate(step int, nodes []NodeMeasure) []units.Watts {
+	if p.chosen {
+		return nil
+	}
+	var nSim, nAna int
+	for _, n := range nodes {
+		if n.Role == RoleSimulation {
+			nSim++
+		} else {
+			nAna++
+		}
+	}
+	if nSim == 0 || nAna == 0 {
+		return nil
+	}
+	c := p.cfg.Constraints
+	bestMax := units.Seconds(-1)
+	for simCap := c.MinCap; simCap <= c.MaxCap; simCap += p.cfg.GridStep {
+		anaCap := (c.Budget - simCap*units.Watts(nSim)) / units.Watts(nAna)
+		if anaCap < c.MinCap || anaCap > c.MaxCap {
+			continue
+		}
+		tS := p.cfg.SimProfile.TimeAt(simCap)
+		tA := p.cfg.AnaProfile.TimeAt(anaCap)
+		m := tS
+		if tA > m {
+			m = tA
+		}
+		if bestMax < 0 || m < bestMax {
+			bestMax = m
+			p.simCap, p.anaCap = simCap, anaCap
+		}
+	}
+	if bestMax < 0 {
+		return nil
+	}
+	p.chosen = true
+	return expandPartitionCaps(nodes, p.simCap, p.anaCap)
+}
+
+// ProfilePartition measures an offline profile by running the provided
+// evaluation function at each per-node cap in caps — the "profiles
+// collected offline of individual coupled applications" step PowerShift
+// requires. evaluate returns the partition's interval time at that cap.
+func ProfilePartition(caps []units.Watts, evaluate func(units.Watts) units.Seconds) Profile {
+	prof := make(Profile, 0, len(caps))
+	for _, c := range caps {
+		prof = append(prof, ProfilePoint{PerNode: c, Time: evaluate(c)})
+	}
+	sort.Slice(prof, func(i, j int) bool { return prof[i].PerNode < prof[j].PerNode })
+	return prof
+}

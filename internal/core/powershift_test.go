@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"seesaw/internal/units"
+)
+
+// linearProfile builds a profile where time falls linearly with power.
+func linearProfile(t98, t215 units.Seconds) Profile {
+	return Profile{
+		{PerNode: 98, Time: t98},
+		{PerNode: 150, Time: (t98 + t215) / 2 * 1.0},
+		{PerNode: 215, Time: t215},
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{{PerNode: 100, Time: 1}}).Validate(); err == nil {
+		t.Error("single-point profile should fail")
+	}
+	unsorted := Profile{{PerNode: 150, Time: 1}, {PerNode: 100, Time: 2}}
+	if err := unsorted.Validate(); err == nil {
+		t.Error("unsorted profile should fail")
+	}
+	bad := Profile{{PerNode: 100, Time: 0}, {PerNode: 150, Time: 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero time should fail")
+	}
+	if err := linearProfile(10, 5).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+}
+
+func TestProfileTimeAt(t *testing.T) {
+	p := Profile{{PerNode: 100, Time: 10}, {PerNode: 200, Time: 5}}
+	if got := p.TimeAt(90); got != 10 {
+		t.Errorf("below range = %v, want clamp to 10", got)
+	}
+	if got := p.TimeAt(250); got != 5 {
+		t.Errorf("above range = %v, want clamp to 5", got)
+	}
+	if got := p.TimeAt(150); got != 7.5 {
+		t.Errorf("midpoint = %v, want 7.5", got)
+	}
+}
+
+func TestPowerShiftValidation(t *testing.T) {
+	good := PowerShiftConfig{
+		Constraints: testConstraints(),
+		SimProfile:  linearProfile(10, 5),
+		AnaProfile:  linearProfile(8, 4),
+	}
+	if _, err := NewPowerShift(good); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := good
+	bad.SimProfile = nil
+	if _, err := NewPowerShift(bad); err == nil {
+		t.Error("missing profile should fail")
+	}
+	bad = good
+	bad.Constraints = Constraints{}
+	if _, err := NewPowerShift(bad); err == nil {
+		t.Error("bad constraints should fail")
+	}
+}
+
+func TestPowerShiftChoosesProfileOptimum(t *testing.T) {
+	// Simulation profits from power, analysis is flat: the profile
+	// optimum gives the simulation everything it can take.
+	ps := MustNewPowerShift(PowerShiftConfig{
+		Constraints: testConstraints(),
+		SimProfile:  Profile{{PerNode: 98, Time: 20}, {PerNode: 215, Time: 5}},
+		AnaProfile:  Profile{{PerNode: 98, Time: 6}, {PerNode: 215, Time: 6}},
+		GridStep:    1,
+	})
+	caps := ps.Allocate(1, measures(10, 6, 108, 104, 110))
+	if caps == nil {
+		t.Fatal("expected an allocation")
+	}
+	sim, ana := ps.ChosenSplit()
+	if sim <= ana {
+		t.Errorf("profiles favor the simulation, got %v/%v", sim, ana)
+	}
+	// Subsequent calls never adapt.
+	if got := ps.Allocate(2, measures(100, 1, 108, 104, 110)); got != nil {
+		t.Error("powershift must not adapt after the offline choice")
+	}
+}
+
+func TestPowerShiftRespectsBudget(t *testing.T) {
+	ps := MustNewPowerShift(PowerShiftConfig{
+		Constraints: testConstraints(),
+		SimProfile:  linearProfile(12, 6),
+		AnaProfile:  linearProfile(9, 5),
+		GridStep:    1,
+	})
+	caps := ps.Allocate(1, measures(10, 6, 108, 104, 110))
+	var total units.Watts
+	for _, c := range caps {
+		if c < 98 || c > 215 {
+			t.Errorf("cap %v out of range", c)
+		}
+		total += c
+	}
+	if float64(total) > float64(testConstraints().Budget)+1e-6 {
+		t.Errorf("total %v exceeds budget", total)
+	}
+}
+
+func TestProfilePartition(t *testing.T) {
+	prof := ProfilePartition([]units.Watts{120, 98, 150}, func(w units.Watts) units.Seconds {
+		return units.Seconds(1000 / float64(w))
+	})
+	if err := prof.Validate(); err != nil {
+		t.Fatalf("generated profile invalid: %v", err)
+	}
+	if prof[0].PerNode != 98 || prof[2].PerNode != 150 {
+		t.Error("profile not sorted by power")
+	}
+	if prof[0].Time <= prof[2].Time {
+		t.Error("lower power should profile slower")
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/units"
+)
+
+func newSeeSAw(t *testing.T, w int) *SeeSAw {
+	t.Helper()
+	s, err := NewSeeSAw(SeeSAwConfig{Constraints: testConstraints(), Window: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSeeSAwConfigValidation(t *testing.T) {
+	if _, err := NewSeeSAw(SeeSAwConfig{Constraints: testConstraints(), Window: 0}); err == nil {
+		t.Error("window 0 should be rejected")
+	}
+	if _, err := NewSeeSAw(SeeSAwConfig{Constraints: Constraints{}, Window: 1}); err == nil {
+		t.Error("empty constraints should be rejected")
+	}
+}
+
+func TestMustNewSeeSAwPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSeeSAw should panic on bad config")
+		}
+	}()
+	MustNewSeeSAw(SeeSAwConfig{})
+}
+
+func TestSeeSAwName(t *testing.T) {
+	if newSeeSAw(t, 1).Name() != "seesaw" {
+		t.Error("wrong name")
+	}
+}
+
+func TestSeeSAwBudgetConservation(t *testing.T) {
+	s := newSeeSAw(t, 1)
+	caps := s.Allocate(1, measures(4, 4, 105, 110, 110))
+	if caps == nil {
+		t.Fatal("expected an allocation at w=1")
+	}
+	var total units.Watts
+	for _, c := range caps {
+		if c < 98 || c > 215 {
+			t.Errorf("cap %v outside hardware range", c)
+		}
+		total += c
+	}
+	if float64(total) > float64(testConstraints().Budget)+1e-6 {
+		t.Errorf("allocated %v exceeds budget %v", total, testConstraints().Budget)
+	}
+}
+
+func TestSeeSAwBudgetConservationProperty(t *testing.T) {
+	f := func(rawSimP, rawAnaP, rawSimT, rawAnaT float64) bool {
+		s := MustNewSeeSAw(SeeSAwConfig{Constraints: testConstraints(), Window: 1})
+		simP := units.Watts(98 + math.Abs(math.Mod(rawSimP, 100)))
+		anaP := units.Watts(98 + math.Abs(math.Mod(rawAnaP, 100)))
+		simT := units.Seconds(0.1 + math.Abs(math.Mod(rawSimT, 100)))
+		anaT := units.Seconds(0.1 + math.Abs(math.Mod(rawAnaT, 100)))
+		caps := s.Allocate(1, measures(simT, anaT, simP, anaP, 110))
+		if caps == nil {
+			return true
+		}
+		var total units.Watts
+		for _, c := range caps {
+			if c < 98 || c > 215 {
+				return false
+			}
+			total += c
+		}
+		return float64(total) <= float64(testConstraints().Budget)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeeSAwFavorsHigherEnergyTask(t *testing.T) {
+	s := newSeeSAw(t, 1)
+	// Equal times; the analysis draws more power -> higher energy ->
+	// more power assigned (the paper's counter-intuitive MSD case).
+	caps := s.Allocate(1, measures(4, 4, 104, 112, 110))
+	if caps == nil {
+		t.Fatal("expected allocation")
+	}
+	if !(caps[4] > caps[0]) {
+		t.Errorf("analysis (E higher) got %v, sim %v; want analysis more", caps[4], caps[0])
+	}
+}
+
+func TestSeeSAwWindow(t *testing.T) {
+	s := newSeeSAw(t, 3)
+	if got := s.Allocate(1, measures(4, 4, 105, 110, 110)); got != nil {
+		t.Error("w=3: no allocation expected at step 1")
+	}
+	if got := s.Allocate(2, measures(4, 4, 105, 110, 110)); got != nil {
+		t.Error("w=3: no allocation expected at step 2")
+	}
+	if got := s.Allocate(3, measures(4, 4, 105, 110, 110)); got == nil {
+		t.Error("w=3: allocation expected at step 3")
+	}
+	if s.Allocations() != 1 {
+		t.Errorf("Allocations = %d, want 1", s.Allocations())
+	}
+}
+
+func TestSeeSAwIgnoresDegenerateMeasures(t *testing.T) {
+	s := newSeeSAw(t, 1)
+	if got := s.Allocate(1, measures(0, 4, 105, 110, 110)); got != nil {
+		t.Error("zero time measure should be skipped")
+	}
+	if got := s.Allocate(2, measures(4, 4, 0, 110, 110)); got != nil {
+		t.Error("zero power measure should be skipped")
+	}
+}
+
+func TestSeeSAwNeedsBothPartitions(t *testing.T) {
+	s := newSeeSAw(t, 1)
+	only := []NodeMeasure{{Role: RoleSimulation, Time: 4, Power: 100, Cap: 110}}
+	if got := s.Allocate(1, only); got != nil {
+		t.Error("single-partition job should not be reallocated")
+	}
+}
+
+func TestSeeSAwEWMADamping(t *testing.T) {
+	// A one-step outlier must not swing the allocation to the raw
+	// optimum: the EWMA blends with the previous allocation.
+	s := newSeeSAw(t, 1)
+	var prev units.Watts = 110
+	s.Allocate(1, measures(4, 4, 108, 108, 110))
+	// Outlier: analysis suddenly reports high energy.
+	caps := s.Allocate(2, measures(4, 12, 108, 112, 110))
+	if caps == nil {
+		t.Fatal("expected allocation")
+	}
+	// The raw optimal analysis share would be E_A/(E_S+E_A) ~ 0.757 ->
+	// ana ~166 W/node; damping must keep it well below.
+	if caps[4] >= 150 {
+		t.Errorf("allocation %v not damped (prev %v)", caps[4], prev)
+	}
+}
+
+func TestOptimalSplit(t *testing.T) {
+	// The paper's Fig 2 numbers: blue 90 W x 100 s, red 120 W x 60 s,
+	// C = 210 W -> 116.7 / 93.3.
+	b, r := OptimalSplit(210, 100, 90, 60, 120)
+	if math.Abs(float64(b)-116.666) > 0.01 || math.Abs(float64(r)-93.333) > 0.01 {
+		t.Errorf("OptimalSplit = %v/%v, want 116.7/93.3", b, r)
+	}
+}
+
+func TestOptimalSplitSum(t *testing.T) {
+	f := func(tS, pS, tA, pA float64) bool {
+		ts := units.Seconds(0.1 + math.Abs(math.Mod(tS, 100)))
+		ta := units.Seconds(0.1 + math.Abs(math.Mod(tA, 100)))
+		ps := units.Watts(50 + math.Abs(math.Mod(pS, 200)))
+		pa := units.Watts(50 + math.Abs(math.Mod(pA, 200)))
+		a, b := OptimalSplit(500, ts, ps, ta, pa)
+		return units.NearlyEqual(float64(a+b), 500, 1e-9) && a >= 0 && b >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptimalSplitDegenerate(t *testing.T) {
+	a, b := OptimalSplit(200, 0, 0, 0, 0)
+	if a != 100 || b != 100 {
+		t.Errorf("degenerate split = %v/%v, want even halves", a, b)
+	}
+}
+
+func TestPredictEqualTime(t *testing.T) {
+	// t* = (E_S + E_A)/C; with the Fig 2 numbers: (9000+7200)/210 = 77.14.
+	got := PredictEqualTime(210, 100, 90, 60, 120)
+	if math.Abs(float64(got)-77.142857) > 1e-6 {
+		t.Errorf("PredictEqualTime = %v, want 77.14", got)
+	}
+	if PredictEqualTime(0, 1, 1, 1, 1) != 0 {
+		t.Error("zero budget should predict 0")
+	}
+}
+
+func TestPredictEqualTimeConsistentWithSplit(t *testing.T) {
+	// Under the linear model t = E/P, both tasks at the optimal split
+	// should take exactly t*.
+	f := func(tS, pS, tA, pA float64) bool {
+		ts := 0.1 + math.Abs(math.Mod(tS, 100))
+		ta := 0.1 + math.Abs(math.Mod(tA, 100))
+		ps := 50 + math.Abs(math.Mod(pS, 200))
+		pa := 50 + math.Abs(math.Mod(pA, 200))
+		optS, optA := OptimalSplit(500, units.Seconds(ts), units.Watts(ps), units.Seconds(ta), units.Watts(pa))
+		tstar := float64(PredictEqualTime(500, units.Seconds(ts), units.Watts(ps), units.Seconds(ta), units.Watts(pa)))
+		predS := ts * ps / float64(optS) // t = E/P
+		predA := ta * pa / float64(optA)
+		return math.Abs(predS-tstar) < 1e-6*tstar && math.Abs(predA-tstar) < 1e-6*tstar
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Package cosim is the scale-level co-simulation driver for the paper's
+// 128-1024-node experiments. It advances one space-shared in-situ job —
+// n simulation nodes plus n analysis nodes, each a machine.Node with its
+// own simulated RAPL domain — synchronization interval by
+// synchronization interval:
+//
+//  1. every node executes its interval's phases (from the workload
+//     model), yielding per-node busy times and drawn power;
+//  2. the slower partition sets the interval's wall time; faster nodes
+//     idle at synchronization, drawing idle power (the troughs of
+//     Figure 1);
+//  3. per-node (time, power, cap) measurements — exactly what PoLiMER
+//     reports — go to the configured policy, which may emit new caps;
+//  4. caps are written to each node's RAPL domain (taking effect after
+//     the actuation latency) and the allocator's communication cost is
+//     charged to the next interval.
+//
+// Unlike package insitu (goroutine-per-rank over the message-passing
+// runtime, real mini-MD), cosim is sequential and uses the workload
+// tables, making hundreds of multi-policy, multi-seed experiment cells
+// cheap while exercising the same Policy implementations.
+package cosim
+
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/mpi"
+	"seesaw/internal/rapl"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// CapMode selects which RAPL caps a job installs (Table I's cap types).
+type CapMode int
+
+// Cap modes.
+const (
+	// CapNone runs uncapped (Table I "None").
+	CapNone CapMode = iota
+	// CapLong installs only the long-term cap (the paper's main
+	// configuration, Section VII-A).
+	CapLong
+	// CapLongShort installs both long- and short-term caps (Table I
+	// "Long and Short"): the budget is guaranteed but RAPL regulates
+	// slightly below the request and variability increases.
+	CapLongShort
+)
+
+// Config describes one co-simulated job.
+type Config struct {
+	// Spec is the workload (node counts, dim, j, steps, analyses).
+	Spec workload.Spec
+	// Policy allocates power at each synchronization; nil means static.
+	Policy core.Policy
+	// Constraints carry the global budget and per-node cap range.
+	Constraints core.Constraints
+	// InitialSimCap and InitialAnaCap are per-node starting caps; zero
+	// means an even split of the budget (the paper's baseline).
+	InitialSimCap, InitialAnaCap units.Watts
+	// CapMode selects the RAPL cap types (CapLong by default for
+	// capped runs; use CapNone for uncapped variability rows).
+	CapMode CapMode
+	// Seed drives node noise deterministically. Two runs with the same
+	// seed share node placement (run-to-run); different seeds model
+	// different jobs (job-to-job).
+	Seed uint64
+	// RunSeed, when non-zero, separates per-run jitter from the
+	// job-level Seed: repeated runs inside one job share Seed (node
+	// skews) but differ in RunSeed — the paper's run-to-run setting
+	// (Table I).
+	RunSeed uint64
+	// Noise configures run-to-run and job-to-job variability
+	// magnitudes; zero disables noise entirely.
+	Noise machine.NoiseModel
+	// Machine is the node performance model (DefaultModel if zero).
+	Machine machine.Model
+	// Rapl is the RAPL hardware model (Theta if zero).
+	Rapl rapl.Config
+	// Cost models the allocator's communication (DefaultCost if zero).
+	Cost mpi.CostModel
+	// TraceSegments, when true, records (time, power) segments for the
+	// first node of each partition so power traces can be resampled
+	// (Figure 1).
+	TraceSegments bool
+}
+
+// normalize applies defaults.
+func (c *Config) normalize() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		c.Policy = core.NewStatic()
+	}
+	if c.Machine == (machine.Model{}) {
+		c.Machine = machine.DefaultModel()
+	}
+	if c.Rapl == (rapl.Config{}) {
+		c.Rapl = rapl.Theta()
+	}
+	if c.Cost == (mpi.CostModel{}) {
+		c.Cost = mpi.DefaultCost()
+	}
+	nodes := c.Spec.SimNodes + c.Spec.AnaNodes
+	if c.CapMode != CapNone {
+		if err := c.Constraints.Validate(nodes); err != nil {
+			return err
+		}
+		even := core.EvenSplit(c.Constraints, nodes)
+		if c.InitialSimCap == 0 {
+			c.InitialSimCap = even
+		}
+		if c.InitialAnaCap == 0 {
+			c.InitialAnaCap = even
+		}
+	}
+	return nil
+}
+
+// Segment is a span of constant power on one node, for trace resampling.
+type Segment struct {
+	Start    units.Seconds
+	Duration units.Seconds
+	Power    units.Watts
+}
+
+// Result summarizes a co-simulated job.
+type Result struct {
+	// TotalTime is the job's main-loop wall time.
+	TotalTime units.Seconds
+	// SyncLog records each synchronization interval.
+	SyncLog *trace.SyncLog
+	// TotalEnergy sums all nodes' energy.
+	TotalEnergy units.Joules
+	// OverheadPerSync is the modeled allocator overhead charged at each
+	// synchronization (communication + actuation bookkeeping).
+	OverheadPerSync units.Seconds
+	// SimSegments and AnaSegments are power segments of the first node
+	// of each partition (only when Config.TraceSegments).
+	SimSegments, AnaSegments []Segment
+	// FinalCaps are the per-node caps at the end of the run.
+	FinalCaps []units.Watts
+}
+
+// Run executes the co-simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	spec := cfg.Spec
+	nSim, nAna := spec.SimNodes, spec.AnaNodes
+	nTotal := nSim + nAna
+
+	runSeed := cfg.RunSeed
+	if runSeed == 0 {
+		runSeed = cfg.Seed
+	}
+	nodes := make([]*machine.Node, nTotal)
+	roles := make([]core.Role, nTotal)
+	for i := 0; i < nTotal; i++ {
+		nodes[i] = machine.NewNodeWithSeeds(i, cfg.Rapl, cfg.Machine, cfg.Noise, cfg.Seed, runSeed)
+		if i < nSim {
+			roles[i] = core.RoleSimulation
+		} else {
+			roles[i] = core.RoleAnalysis
+		}
+	}
+	// Install initial caps.
+	if cfg.CapMode != CapNone {
+		for i, n := range nodes {
+			cap := cfg.InitialAnaCap
+			if roles[i] == core.RoleSimulation {
+				cap = cfg.InitialSimCap
+			}
+			n.RAPL().SetLongCap(cap)
+			if cfg.CapMode == CapLongShort {
+				n.RAPL().SetShortCap(cap)
+			}
+		}
+	}
+
+	// Allocator overhead per synchronization: the measurement Allgather
+	// and the cap Bcast over all nodes, plus the policy's local compute.
+	const policyComputeTime = 2e-6
+	overhead := cfg.Cost.CollectiveCost(nTotal, 32*nTotal) +
+		cfg.Cost.CollectiveCost(nTotal, 8*nTotal) +
+		policyComputeTime
+
+	res := &Result{SyncLog: &trace.SyncLog{}, OverheadPerSync: overhead}
+
+	type intervalEnd struct {
+		step int
+		sync bool
+	}
+	var schedule []intervalEnd
+	for _, s := range spec.SyncSchedule() {
+		schedule = append(schedule, intervalEnd{step: s, sync: true})
+	}
+	if len(schedule) == 0 {
+		return nil, fmt.Errorf("cosim: workload has no synchronization steps")
+	}
+	// A trailing partial interval covers Verlet steps after the last
+	// synchronization.
+	if last := schedule[len(schedule)-1].step; last < spec.Steps {
+		schedule = append(schedule, intervalEnd{step: spec.Steps})
+	}
+
+	busy := make([]units.Seconds, nTotal)
+	measures := make([]core.NodeMeasure, nTotal)
+	lastEnergy := make([]units.Joules, nTotal)
+	var clock units.Seconds
+	var carryOverhead units.Seconds
+
+	prevStep := 0
+	for syncIdx, iv := range schedule {
+		step, syncing := iv.step, iv.sync
+
+		simPhases := spec.SimIntervalIdx(prevStep, step, syncIdx)
+		var anaPhases []machine.Phase
+		if syncing {
+			anaPhases = spec.AnaInterval(step)
+		}
+
+		// 1. Execute every node's interval.
+		for i, n := range nodes {
+			var t units.Seconds
+			phases := simPhases
+			if roles[i] == core.RoleAnalysis {
+				phases = anaPhases
+			}
+			for _, ph := range phases {
+				exec := n.Run(ph, cfg.Noise)
+				t += exec.Duration
+				if cfg.TraceSegments && (i == 0 || i == nSim) {
+					seg := Segment{Start: clock + t - exec.Duration, Duration: exec.Duration, Power: exec.Power}
+					if i == 0 {
+						res.SimSegments = append(res.SimSegments, seg)
+					} else {
+						res.AnaSegments = append(res.AnaSegments, seg)
+					}
+				}
+			}
+			// The previous allocation's overhead is part of this
+			// interval's runtime (the paper's measurement convention).
+			t += carryOverhead
+			busy[i] = t
+		}
+
+		// 2. Synchronization: the slower partition sets the wall time.
+		var wall units.Seconds
+		for _, t := range busy {
+			if t > wall {
+				wall = t
+			}
+		}
+		for i, n := range nodes {
+			if wait := wall - busy[i]; wait > 0 {
+				exec := n.Idle(wait)
+				if cfg.TraceSegments && (i == 0 || i == nSim) {
+					seg := Segment{Start: clock + busy[i], Duration: wait, Power: exec.Power}
+					if i == 0 {
+						res.SimSegments = append(res.SimSegments, seg)
+					} else {
+						res.AnaSegments = append(res.AnaSegments, seg)
+					}
+				}
+			}
+		}
+		clock += wall
+
+		// 3. Measurements, exactly as PoLiMER reports them. The epoch
+		// time additionally folds in part of the synchronization wait,
+		// as a loop-level monitor (GEOPM) would observe it.
+		for i, n := range nodes {
+			e := n.RAPL().Energy() - lastEnergy[i]
+			lastEnergy[i] = n.RAPL().Energy()
+			measures[i] = core.NodeMeasure{
+				Role:      roles[i],
+				Time:      wall, // allocator-to-allocator interval: work + sync wait
+				BusyTime:  busy[i],
+				EpochTime: busy[i] + (wall-busy[i])*epochWaitShare,
+				Power:     units.AvgPower(e, wall),
+				Cap:       n.RAPL().LongCap(),
+			}
+		}
+		rec := buildRecord(syncIdx+1, measures, nSim, overhead)
+		res.SyncLog.Add(rec)
+
+		// 4. Policy invocation and cap writes.
+		carryOverhead = 0
+		if syncing && cfg.CapMode != CapNone {
+			caps := cfg.Policy.Allocate(syncIdx+1, measures)
+			if caps != nil {
+				for i, n := range nodes {
+					if caps[i] > 0 && caps[i] != n.RAPL().LongCap() {
+						n.RAPL().SetLongCap(caps[i])
+						if cfg.CapMode == CapLongShort {
+							n.RAPL().SetShortCap(caps[i])
+						}
+					}
+				}
+			}
+			carryOverhead = overhead
+		}
+
+		prevStep = step
+	}
+
+	res.TotalTime = clock
+	for _, n := range nodes {
+		res.TotalEnergy += n.RAPL().Energy()
+	}
+	res.FinalCaps = make([]units.Watts, nTotal)
+	for i, n := range nodes {
+		res.FinalCaps[i] = n.RAPL().LongCap()
+	}
+	return res, nil
+}
+
+// epochWaitShare is the fraction of the synchronization wait a
+// loop-level (epoch) monitor attributes to the iteration itself: epoch
+// markers bracket the whole loop body, so most of the wait is folded
+// into the apparent iteration time.
+const epochWaitShare = 0.8
+
+// buildRecord aggregates per-node measures into a SyncRecord with
+// per-node partition powers.
+func buildRecord(step int, measures []core.NodeMeasure, nSim int, overhead units.Seconds) trace.SyncRecord {
+	rec := trace.SyncRecord{Step: step, Overhead: overhead}
+	var nS, nA int
+	for _, m := range measures {
+		switch m.Role {
+		case core.RoleSimulation:
+			nS++
+			rec.SimPower += m.Power
+			rec.SimCap = m.Cap
+			if m.BusyTime > rec.SimTime {
+				rec.SimTime = m.BusyTime
+			}
+		case core.RoleAnalysis:
+			nA++
+			rec.AnaPower += m.Power
+			rec.AnaCap = m.Cap
+			if m.BusyTime > rec.AnaTime {
+				rec.AnaTime = m.BusyTime
+			}
+		}
+	}
+	if nS > 0 {
+		rec.SimPower /= units.Watts(nS)
+	}
+	if nA > 0 {
+		rec.AnaPower /= units.Watts(nA)
+	}
+	return rec
+}
+
+// SampleSegments resamples power segments at a fixed period (e.g. the
+// 200 ms of Figure 1), returning one power value per sample point.
+func SampleSegments(segs []Segment, period units.Seconds) []trace.Sample {
+	if period <= 0 || len(segs) == 0 {
+		return nil
+	}
+	var out []trace.Sample
+	end := segs[len(segs)-1].Start + segs[len(segs)-1].Duration
+	si := 0
+	for t := units.Seconds(0); t < end; t += period {
+		for si < len(segs)-1 && segs[si].Start+segs[si].Duration <= t {
+			si++
+		}
+		out = append(out, trace.Sample{Time: t, Value: float64(segs[si].Power)})
+	}
+	return out
+}

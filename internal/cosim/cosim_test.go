@@ -1,0 +1,312 @@
+package cosim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+func smallSpec() workload.Spec {
+	return workload.Spec{SimNodes: 4, AnaNodes: 4, Dim: 16, J: 1, Steps: 30, Analyses: workload.Tasks("msd")}
+}
+
+func smallCons() core.Constraints {
+	return core.Constraints{Budget: 110 * 8, MinCap: 98, MaxCap: 215}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	// Budget below min caps.
+	_, err := Run(Config{Spec: smallSpec(), CapMode: CapLong,
+		Constraints: core.Constraints{Budget: 10, MinCap: 98, MaxCap: 215}})
+	if err == nil {
+		t.Error("infeasible budget should fail")
+	}
+}
+
+func TestStaticRunBasics(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("non-positive total time")
+	}
+	if res.SyncLog.Len() != 30 {
+		t.Errorf("sync records = %d, want 30 (j=1)", res.SyncLog.Len())
+	}
+	if res.TotalEnergy <= 0 {
+		t.Error("no energy accounted")
+	}
+	// Static: caps never move.
+	for _, c := range res.FinalCaps {
+		if c != 110 {
+			t.Errorf("static final cap = %v, want 110", c)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+		Seed: 7, RunSeed: 8, Noise: machine.DefaultNoise()}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.TotalEnergy != b.TotalEnergy {
+		t.Errorf("same config diverged: %v/%v vs %v/%v", a.TotalTime, a.TotalEnergy, b.TotalTime, b.TotalEnergy)
+	}
+}
+
+func TestRunSeedChangesOutcome(t *testing.T) {
+	base := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+		Seed: 7, Noise: machine.DefaultNoise()}
+	a, _ := Run(base)
+	base.RunSeed = 99
+	b, _ := Run(base)
+	if a.TotalTime == b.TotalTime {
+		t.Error("different run seeds should perturb the runtime")
+	}
+}
+
+func TestCapNone(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), CapMode: CapNone, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.FinalCaps {
+		if c != 0 {
+			t.Errorf("uncapped run has cap %v", c)
+		}
+	}
+	// Uncapped must be faster than a 110 W capped run.
+	capped, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime >= capped.TotalTime {
+		t.Errorf("uncapped %v not faster than capped %v", res.TotalTime, capped.TotalTime)
+	}
+}
+
+func TestCapLongShortSlower(t *testing.T) {
+	long, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLongShort, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dual caps regulate slightly below the request: never faster.
+	if dual.TotalTime < long.TotalTime {
+		t.Errorf("dual-cap run %v faster than long-cap %v", dual.TotalTime, long.TotalTime)
+	}
+}
+
+func TestSeeSAwCapsConserveBudget(t *testing.T) {
+	ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: smallCons(), Window: 1})
+	res, err := Run(Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
+		CapMode: CapLong, Seed: 3, Noise: machine.DefaultNoise()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total units.Watts
+	for _, c := range res.FinalCaps {
+		if c < 98 || c > 215 {
+			t.Errorf("final cap %v outside hardware range", c)
+		}
+		total += c
+	}
+	if float64(total) > float64(smallCons().Budget)+1e-6 {
+		t.Errorf("final caps %v exceed budget %v", total, smallCons().Budget)
+	}
+}
+
+func TestSlackBounds(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 4,
+		Noise: machine.DefaultNoise()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.SyncLog.Records {
+		if s := r.Slack(); s < 0 || s > 1 {
+			t.Fatalf("slack %v outside [0,1] at step %d", s, r.Step)
+		}
+	}
+}
+
+func TestTrailingPartialInterval(t *testing.T) {
+	spec := smallSpec()
+	spec.J = 7
+	spec.Steps = 30 // syncs at 7,14,21,28; tail 29-30
+	res, err := Run(Config{Spec: spec, Constraints: smallCons(), CapMode: CapLong, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 syncs + 1 tail interval.
+	if got := res.SyncLog.Len(); got != 5 {
+		t.Errorf("records = %d, want 5", got)
+	}
+}
+
+func TestTraceSegments(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 6,
+		TraceSegments: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SimSegments) == 0 || len(res.AnaSegments) == 0 {
+		t.Fatal("no trace segments recorded")
+	}
+	// Segments of each node must tile the full run; the only allowed
+	// sliver between consecutive segments is the (microsecond-scale)
+	// allocator overhead, which is not a traced power segment.
+	for _, segs := range [][]Segment{res.SimSegments, res.AnaSegments} {
+		var clock units.Seconds
+		for i, s := range segs {
+			if !units.NearlyEqual(float64(s.Start), float64(clock), 1e-3) {
+				t.Fatalf("segment %d starts at %v, expected %v (gap or overlap)", i, s.Start, clock)
+			}
+			clock = s.Start + s.Duration
+		}
+		if !units.NearlyEqual(float64(clock), float64(res.TotalTime), 1e-3) {
+			t.Errorf("segments end at %v, run ends at %v", clock, res.TotalTime)
+		}
+	}
+}
+
+func TestSampleSegments(t *testing.T) {
+	segs := []Segment{
+		{Start: 0, Duration: 1, Power: 100},
+		{Start: 1, Duration: 1, Power: 120},
+	}
+	samples := SampleSegments(segs, 0.5)
+	if len(samples) != 4 {
+		t.Fatalf("samples = %d, want 4", len(samples))
+	}
+	if samples[0].Value != 100 || samples[3].Value != 120 {
+		t.Errorf("sample values wrong: %+v", samples)
+	}
+	if SampleSegments(nil, 0.5) != nil {
+		t.Error("empty segments should sample to nil")
+	}
+	if SampleSegments(segs, 0) != nil {
+		t.Error("zero period should sample to nil")
+	}
+}
+
+func TestUnbalancedInitialCaps(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+		InitialSimCap: 120, InitialAnaCap: 100, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := res.SyncLog.Records[2]
+	if rec.SimCap != 120 || rec.AnaCap != 100 {
+		t.Errorf("initial caps not honored: %v/%v", rec.SimCap, rec.AnaCap)
+	}
+}
+
+func TestOverheadReported(t *testing.T) {
+	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverheadPerSync <= 0 {
+		t.Error("allocator overhead should be positive")
+	}
+	if res.OverheadPerSync > 0.01 {
+		t.Errorf("allocator overhead %v implausibly large", res.OverheadPerSync)
+	}
+}
+
+func TestBudgetConservedAcrossPolicies(t *testing.T) {
+	cons := smallCons()
+	f := func(seed uint64, pick uint8) bool {
+		names := []string{"seesaw", "power-aware", "time-aware"}
+		name := names[int(pick)%len(names)]
+		res, err := Run(Config{Spec: smallSpec(), Policy: policyFor(name, cons, 1),
+			Constraints: cons, CapMode: CapLong, Seed: seed % 1000, Noise: machine.DefaultNoise()})
+		if err != nil {
+			return false
+		}
+		var total units.Watts
+		for _, c := range res.FinalCaps {
+			if c < cons.MinCap || c > cons.MaxCap {
+				return false
+			}
+			total += c
+		}
+		return float64(total) <= float64(cons.Budget)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindBestStaticSplit(t *testing.T) {
+	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+		Seed: 13, RunSeed: 14, Noise: machine.DefaultNoise()}
+	res, err := FindBestStaticSplit(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated == 0 {
+		t.Fatal("no splits evaluated")
+	}
+	if res.BestSimCap < 98 || res.BestSimCap > 215 || res.BestAnaCap < 98 || res.BestAnaCap > 215 {
+		t.Errorf("oracle caps out of range: %v/%v", res.BestSimCap, res.BestAnaCap)
+	}
+	// The best split is no slower than the even split by construction.
+	if res.BestTime > res.EvenTime {
+		t.Errorf("oracle best %v slower than even split %v", res.BestTime, res.EvenTime)
+	}
+	if res.Headroom() < 0 {
+		t.Errorf("negative headroom %v", res.Headroom())
+	}
+}
+
+func TestFindBestStaticSplitValidation(t *testing.T) {
+	if _, err := FindBestStaticSplit(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong}, 0); err == nil {
+		t.Error("zero step should fail")
+	}
+	if _, err := FindBestStaticSplit(Config{}, 2); err == nil {
+		t.Error("empty config should fail")
+	}
+}
+
+func TestOracleBeatsOrMatchesEvenSplit(t *testing.T) {
+	// Property over a few seeds: the sweep result dominates the even
+	// split, and SeeSAw lands between even and oracle on the MSD cell.
+	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+		Seed: 31, RunSeed: 32, Noise: machine.DefaultNoise()}
+	oracle, err := FindBestStaticSplit(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: smallCons(), Window: 1})
+	res, err := Run(Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
+		CapMode: CapLong, Seed: 31, RunSeed: 32, Noise: machine.DefaultNoise()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Online SeeSAw should not beat the hindsight oracle by more than
+	// noise, and should not be drastically worse than the even split.
+	if float64(res.TotalTime) < float64(oracle.BestTime)*0.98 {
+		t.Errorf("seesaw %v implausibly beats the oracle %v", res.TotalTime, oracle.BestTime)
+	}
+	if float64(res.TotalTime) > float64(oracle.EvenTime)*1.05 {
+		t.Errorf("seesaw %v much slower than the even split %v", res.TotalTime, oracle.EvenTime)
+	}
+}

@@ -1,0 +1,54 @@
+package cosim
+
+import (
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// policyFor builds a fresh policy by name for the experiment cells.
+func policyFor(name string, cons core.Constraints, w int) core.Policy {
+	switch name {
+	case "static":
+		return core.NewStatic()
+	case "seesaw":
+		return core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
+	case "power-aware":
+		cfg := core.DefaultPowerAwareConfig(cons)
+		cfg.Window = w
+		return core.MustNewPowerAware(cfg)
+	case "time-aware":
+		return core.MustNewTimeAware(core.DefaultTimeAwareConfig(cons))
+	}
+	panic("unknown policy " + name)
+}
+
+func TestSmokePoliciesAt128Nodes(t *testing.T) {
+	spec := workload.Spec{
+		SimNodes: 64, AnaNodes: 64,
+		Dim: 16, J: 1, Steps: 100,
+		Analyses: workload.Tasks("msd"),
+	}
+	cons := core.Constraints{Budget: units.Watts(110 * 128), MinCap: 98, MaxCap: 215}
+	for _, p := range []string{"static", "seesaw", "power-aware", "time-aware"} {
+		res, err := Run(Config{
+			Spec:        spec,
+			Policy:      policyFor(p, cons, 1),
+			Constraints: cons,
+			CapMode:     CapLong,
+			Seed:        42,
+			Noise:       machine.DefaultNoise(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		n := len(res.SyncLog.Records)
+		last := res.SyncLog.Records[n-1]
+		t.Logf("%-12s total=%8.1f slack=%.4f simCap=%.1f anaCap=%.1f simP=%.1f anaP=%.1f",
+			p, float64(res.TotalTime), res.SyncLog.MeanSlackFrom(10),
+			float64(last.SimCap), float64(last.AnaCap), float64(last.SimPower), float64(last.AnaPower))
+	}
+}

@@ -1,0 +1,475 @@
+// Package insitu implements the Verlet-Splitanalysis in-situ workflow of
+// Malakar et al. that the paper evaluates (Section V): physically
+// separate partitions of simulation and analysis processes advancing a
+// LAMMPS-style molecular-dynamics run, synchronizing every j Verlet
+// steps. Each Verlet step follows the paper's eight-step flow:
+//
+//  1. S performs initial integration
+//  2. S sends particle coordinates and velocities to the A partition
+//  3. both partitions rebuild a subset of data structures
+//  4. S sends the particle count to A for verification
+//  5. both partitions update neighbor lists
+//  6. S computes forces and final integration
+//  7. S invokes A at the end of the time step
+//  8. optional output of the state of S (thermodynamic data)
+//
+// Steps 2-4 constitute the synchronization phase; they (and 5 and 7) run
+// only every j-th step. Power allocation (PoLiMER's poli_power_alloc) is
+// invoked by every rank immediately before the synchronization, exactly
+// as in the instrumented LAMMPS of Section VI-C.
+//
+// Ranks execute real mini-MD (package lammps) and real analyses (package
+// analysis); their computational work is converted to virtual time and
+// power through each rank's simulated node (package machine), so the
+// power-management policies observe the same time/power structure the
+// paper's Theta runs expose.
+package insitu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seesaw/internal/analysis"
+	"seesaw/internal/core"
+	"seesaw/internal/lammps"
+	"seesaw/internal/machine"
+	"seesaw/internal/mpi"
+	"seesaw/internal/polimer"
+	"seesaw/internal/rapl"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+)
+
+// Config describes one in-situ job.
+type Config struct {
+	// SimRanks and AnaRanks are the partition sizes (one rank per node,
+	// equal counts in all of the paper's Section VII results).
+	SimRanks, AnaRanks int
+	// Steps is the number of Verlet steps (the paper uses 400).
+	Steps int
+	// SyncEvery is j: simulation and analysis synchronize every j-th
+	// step.
+	SyncEvery int
+	// Lammps configures each simulation rank's sub-box.
+	Lammps lammps.Config
+	// Analyses names the analyses to run (see analysis.Names). Every
+	// analysis rank runs the full set in sequence, as in the paper's
+	// "all" configuration.
+	Analyses []string
+	// AnalysisIntervals optionally overrides the synchronization
+	// interval of individual analyses (Table II's mixed-interval
+	// scenario); analyses not listed run every SyncEvery steps.
+	AnalysisIntervals map[string]int
+	// Policy is the power-allocation policy evaluated on the root rank.
+	Policy core.Policy
+	// Constraints carry the global budget and cap range.
+	Constraints core.Constraints
+	// InitialSimCap / InitialAnaCap are the initial per-node caps
+	// (Figure 7's unbalanced starts); zero means an even split of the
+	// budget.
+	InitialSimCap, InitialAnaCap units.Watts
+	// ShortTermCap additionally installs short-term RAPL caps.
+	ShortTermCap bool
+	// Seed drives all stochastic behaviour deterministically.
+	Seed uint64
+	// Noise configures node variability; zero values give a
+	// deterministic run.
+	Noise machine.NoiseModel
+	// Machine is the node performance model (DefaultModel if zero).
+	Machine machine.Model
+	// Rapl is the per-node RAPL configuration (Theta if zero).
+	Rapl rapl.Config
+	// Cost is the communication cost model (DefaultCost if zero).
+	Cost mpi.CostModel
+	// PowerSample, when positive, records per-node power traces sampled
+	// at this period via the PoLiMER monitoring API. Samples within one
+	// step are interpolated (the rank polls its monitor at step
+	// granularity); for phase-resolved traces use the cosim driver's
+	// TraceSegments.
+	PowerSample units.Seconds
+}
+
+// normalize fills zero-valued sub-configurations with defaults.
+func (c *Config) normalize() error {
+	if c.SimRanks <= 0 || c.AnaRanks <= 0 {
+		return fmt.Errorf("insitu: need positive partition sizes, got sim=%d ana=%d", c.SimRanks, c.AnaRanks)
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("insitu: steps must be positive, got %d", c.Steps)
+	}
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 1
+	}
+	if c.Lammps.Atoms == 0 {
+		c.Lammps = lammps.DefaultConfig()
+	}
+	if len(c.Analyses) == 0 {
+		return fmt.Errorf("insitu: at least one analysis required")
+	}
+	if c.Policy == nil {
+		c.Policy = core.NewStatic()
+	}
+	if c.Machine == (machine.Model{}) {
+		c.Machine = machine.DefaultModel()
+	}
+	if c.Rapl == (rapl.Config{}) {
+		c.Rapl = rapl.Theta()
+	}
+	if c.Cost == (mpi.CostModel{}) {
+		c.Cost = mpi.DefaultCost()
+	}
+	nodes := c.SimRanks + c.AnaRanks
+	if err := c.Constraints.Validate(nodes); err != nil {
+		return err
+	}
+	even := core.EvenSplit(c.Constraints, nodes)
+	if c.InitialSimCap == 0 {
+		c.InitialSimCap = even
+	}
+	if c.InitialAnaCap == 0 {
+		c.InitialAnaCap = even
+	}
+	return nil
+}
+
+// analysisInterval returns the synchronization interval of one analysis.
+func (c *Config) analysisInterval(name string) int {
+	if j, ok := c.AnalysisIntervals[name]; ok && j > 0 {
+		return j
+	}
+	return c.SyncEvery
+}
+
+// syncSteps precomputes the set of steps at which any analysis is due —
+// the global synchronization schedule all ranks follow.
+func (c *Config) syncSteps() []int {
+	due := map[int]bool{}
+	for step := 1; step <= c.Steps; step++ {
+		for _, a := range c.Analyses {
+			if step%c.analysisInterval(a) == 0 {
+				due[step] = true
+				break
+			}
+		}
+	}
+	steps := make([]int, 0, len(due))
+	for s := range due {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// Result summarizes one in-situ job run.
+type Result struct {
+	// MainLoopTime is the virtual runtime of the Verlet loop (max over
+	// all ranks), the paper's "time to complete the simulation".
+	MainLoopTime units.Seconds
+	// Syncs counts simulation/analysis synchronizations.
+	Syncs int
+	// SyncLog holds the per-synchronization records from the root.
+	SyncLog *trace.SyncLog
+	// AnalysisResults maps analysis name to its final output (from the
+	// first analysis rank).
+	AnalysisResults map[string][]float64
+	// TotalEnergy is the summed energy of all nodes.
+	TotalEnergy units.Joules
+	// OverheadTotal is the root's cumulative allocator overhead.
+	OverheadTotal units.Seconds
+	// FinalSimEnergy is the MD total energy at the end (for physics
+	// sanity checks).
+	FinalSimEnergy float64
+	// PowerTrace holds per-partition sampled power when
+	// Config.PowerSample was set.
+	PowerTrace *trace.Recorder
+}
+
+// tags for point-to-point messages.
+const (
+	tagFrame = iota + 100
+	tagCount
+)
+
+// Run executes the in-situ job and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	nWorld := cfg.SimRanks + cfg.AnaRanks
+	syncSchedule := cfg.syncSteps()
+
+	res := &Result{
+		AnalysisResults: make(map[string][]float64),
+		SyncLog:         &trace.SyncLog{},
+	}
+	if cfg.PowerSample > 0 {
+		res.PowerTrace = trace.NewRecorder()
+	}
+	var mu sync.Mutex // guards res across rank goroutines
+
+	err := mpi.Run(nWorld, cfg.Cost, func(r *mpi.Rank) {
+		isSim := r.WorldRank() < cfg.SimRanks
+		role := core.RoleAnalysis
+		if isSim {
+			role = core.RoleSimulation
+		}
+		node := machine.NewNode(r.WorldRank(), cfg.Rapl, cfg.Machine, cfg.Noise, cfg.Seed)
+
+		initialCap := cfg.InitialAnaCap
+		if isSim {
+			initialCap = cfg.InitialSimCap
+		}
+		mgr, err := polimer.Init(r, role, node, polimer.Options{
+			Policy:       cfg.Policy,
+			Constraints:  cfg.Constraints,
+			InitialCap:   initialCap,
+			ShortTermCap: cfg.ShortTermCap,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var mon *polimer.Monitor
+		if cfg.PowerSample > 0 {
+			mon, err = polimer.NewMonitor(node, cfg.PowerSample)
+			if err != nil {
+				panic(err)
+			}
+			mgr.AttachMonitor(mon)
+		}
+
+		// Split into partition communicators, as Splitanalysis does.
+		color := 0
+		if !isSim {
+			color = 1
+		}
+		part := r.World().Split(color, r.WorldRank())
+
+		if isSim {
+			runSimRank(r, part, node, mgr, &cfg, syncSchedule, res, &mu)
+		} else {
+			runAnaRank(r, part, node, mgr, &cfg, syncSchedule, res, &mu)
+		}
+
+		// Collect job-level aggregates.
+		endClock := r.World().AllreduceMax([]float64{float64(r.Clock())})[0]
+		mu.Lock()
+		if units.Seconds(endClock) > res.MainLoopTime {
+			res.MainLoopTime = units.Seconds(endClock)
+		}
+		res.TotalEnergy += node.RAPL().Energy()
+		if r.WorldRank() == 0 {
+			res.SyncLog = mgr.SyncLog()
+			res.OverheadTotal = mgr.OverheadTotal()
+			res.Syncs = len(syncSchedule)
+		}
+		if mon != nil {
+			mon.Poll()
+			dst := res.PowerTrace.Series(fmt.Sprintf("node-%03d", r.WorldRank()))
+			dst.Samples = append(dst.Samples, mon.Series().Samples...)
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// pairedAnaRank returns the analysis world rank paired with a simulation
+// rank (one analysis process serves one or more simulation processes).
+func pairedAnaRank(simRank, nSim, nAna int) int {
+	return nSim + simRank%nAna
+}
+
+// runSimRank is the per-step loop of a simulation rank.
+func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
+	cfg *Config, syncSchedule []int, res *Result, mu *sync.Mutex) {
+
+	sys, err := lammps.New(cfg.Lammps)
+	if err != nil {
+		panic(err)
+	}
+	dst := pairedAnaRank(r.WorldRank(), cfg.SimRanks, cfg.AnaRanks)
+	syncSet := make(map[int]bool, len(syncSchedule))
+	for _, s := range syncSchedule {
+		syncSet[s] = true
+	}
+
+	for step := 1; step <= cfg.Steps; step++ {
+		// Step 1: initial integration.
+		runWork(r, node, cfg, simPhases["integrate"], sys.InitialIntegrate())
+
+		if syncSet[step] {
+			// Power allocation immediately before the synchronization.
+			mgr.PowerAlloc()
+
+			// Step 2: ship coordinates and velocities to the analysis
+			// partition.
+			frame := sys.Snapshot()
+			runWork(r, node, cfg, simPhases["sync"], lammps.WorkCount{Ops: float64(sys.N) * 6, Bytes: sys.FrameBytes()})
+			r.Send(dst, tagFrame, &frame, sys.FrameBytes())
+
+			// Step 3: rebuild a subset of data structures.
+			runWork(r, node, cfg, simPhases["rebuild"], lammps.WorkCount{Ops: float64(sys.N) * 4})
+
+			// Step 4: particle count for verification.
+			r.Send(dst, tagCount, sys.N, 8)
+
+			// Step 5: update neighbor lists.
+			runWork(r, node, cfg, simPhases["neighbor"], sys.BuildNeighbors())
+		} else if sys.NeedsRebuild() {
+			// Physical-safety rebuild between synchronizations (the
+			// Verlet skin would otherwise be violated for large j);
+			// charged as ordinary neighbor work without synchronization.
+			runWork(r, node, cfg, simPhases["neighbor"], sys.BuildNeighbors())
+		}
+
+		// Step 6: force computation and final integration.
+		w := sys.ComputeForces()
+		w.Add(sys.FinalIntegrate())
+		runWork(r, node, cfg, simPhases["force"], w)
+
+		// Step 8: thermodynamic output at the end of each time step
+		// (communication- and I/O-intensive).
+		sums := simComm.AllreduceSum([]float64{sys.KineticEnergy(), sys.PotentialEnergy()})
+		_ = sums
+		runWork(r, node, cfg, simPhases["output"], lammps.WorkCount{Ops: float64(sys.N), Bytes: sys.ThermoBytes() * simComm.Size()})
+	}
+
+	mu.Lock()
+	if simComm.Rank() == 0 {
+		res.FinalSimEnergy = sys.TotalEnergy()
+	}
+	mu.Unlock()
+}
+
+// runAnaRank is the per-synchronization loop of an analysis rank.
+func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
+	cfg *Config, syncSchedule []int, res *Result, mu *sync.Mutex) {
+
+	// Instantiate this rank's analyses.
+	tasks := make([]analysis.Analysis, 0, len(cfg.Analyses))
+	for _, name := range cfg.Analyses {
+		a, err := analysis.New(name)
+		if err != nil {
+			panic(err)
+		}
+		tasks = append(tasks, a)
+	}
+
+	// Which simulation ranks feed this analysis rank?
+	var sources []int
+	for s := 0; s < cfg.SimRanks; s++ {
+		if pairedAnaRank(s, cfg.SimRanks, cfg.AnaRanks) == r.WorldRank() {
+			sources = append(sources, s)
+		}
+	}
+
+	for _, step := range syncSchedule {
+		// Power allocation immediately before the synchronization.
+		mgr.PowerAlloc()
+
+		for _, src := range sources {
+			// Step 2 (receive side): the frame arrives; time spent
+			// blocked on the simulation is synchronization wait, idling
+			// the node.
+			before := r.Clock()
+			payload := r.Recv(src, tagFrame)
+			mgr.NoteExternalWait(r.Clock() - before)
+			frame := payload.(*lammps.Frame)
+
+			// Step 3: rebuild analysis-side data structures.
+			runWork(r, node, cfg, anaPhases["rebuild"], lammps.WorkCount{Ops: float64(len(frame.Pos)) * 4})
+
+			// Step 4: verification of the particle count.
+			before = r.Clock()
+			count := r.Recv(src, tagCount).(int)
+			mgr.NoteExternalWait(r.Clock() - before)
+			if count != len(frame.Pos) {
+				panic(fmt.Sprintf("insitu: particle count mismatch: %d vs %d", count, len(frame.Pos)))
+			}
+
+			// Step 5: analysis-side neighbor/bookkeeping update.
+			runWork(r, node, cfg, anaPhases["neighbor"], lammps.WorkCount{Ops: float64(len(frame.Pos)) * 2})
+
+			// Step 7: the analyses due at this step run in sequence.
+			for _, t := range tasks {
+				if step%cfg.analysisInterval(t.Name()) != 0 {
+					continue
+				}
+				w := t.Consume(frame)
+				p := t.Profile()
+				nominal := units.Seconds(w.Ops*p.SecondsPerOp + float64(w.Bytes)*bytesSecPerByte)
+				exec := node.Run(machine.Phase{
+					Name:        t.Name(),
+					Nominal:     nominal,
+					Demand:      p.Demand,
+					Saturation:  p.Saturation,
+					Sensitivity: p.Sensitivity,
+				}, cfg.Noise)
+				r.Elapse(exec.Duration)
+			}
+		}
+	}
+
+	if anaComm.Rank() == 0 {
+		mu.Lock()
+		for _, t := range tasks {
+			res.AnalysisResults[t.Name()] = t.Result()
+		}
+		mu.Unlock()
+	}
+}
+
+// phaseSpec maps a workflow phase to its machine characteristics and the
+// work-to-time conversion constants.
+type phaseSpec struct {
+	demand     units.Watts
+	saturation units.Watts
+	sens       float64
+	secPerOp   float64
+	secPerByte float64
+}
+
+// bytesSecPerByte is the analysis-side cost of touching frame bytes.
+const bytesSecPerByte = 1.0e-7
+
+// simPhases characterizes the LAMMPS phases (Section V): compute phases
+// saturate near 140 W per node; communication/IO phases draw little and
+// gain almost nothing from power. The work-to-time constants are
+// calibrated so the default 256-atom sub-box — a miniature stand-in for
+// the ~100k atoms per Theta node at dim=16 — yields the paper's ~4 s
+// between synchronizations (Figure 4d); the sub-box physics is real, the
+// constants absorb the scale factor.
+var simPhases = map[string]phaseSpec{
+	"integrate": {demand: 106, saturation: 118, sens: 0.90, secPerOp: 4.3e-5},
+	"sync":      {demand: 105, saturation: 112, sens: 0.10, secPerOp: 6.9e-5, secPerByte: 1.0e-6},
+	"rebuild":   {demand: 107, saturation: 114, sens: 0.35, secPerOp: 1.46e-4},
+	"neighbor":  {demand: 108, saturation: 118, sens: 0.45, secPerOp: 6.0e-6, secPerByte: 5.0e-6},
+	"force":     {demand: 108, saturation: 120, sens: 0.95, secPerOp: 5.9e-5},
+	"output":    {demand: 105, saturation: 110, sens: 0.10, secPerOp: 2.25e-3, secPerByte: 1.0e-6},
+}
+
+// anaPhases characterizes the analysis partition's bookkeeping phases.
+var anaPhases = map[string]phaseSpec{
+	"rebuild":  {demand: 125, saturation: 118, sens: 0.35, secPerOp: 1.0e-4},
+	"neighbor": {demand: 120, saturation: 115, sens: 0.30, secPerOp: 7.5e-5},
+}
+
+// runWork converts a work count into a machine phase, executes it, and
+// advances the rank's virtual clock.
+func runWork(r *mpi.Rank, node *machine.Node, cfg *Config, spec phaseSpec, w lammps.WorkCount) {
+	nominal := units.Seconds(w.Ops*spec.secPerOp + float64(w.Bytes)*spec.secPerByte)
+	if nominal <= 0 {
+		return
+	}
+	exec := node.Run(machine.Phase{
+		Name:        "phase",
+		Nominal:     nominal,
+		Demand:      spec.demand,
+		Saturation:  spec.saturation,
+		Sensitivity: spec.sens,
+	}, cfg.Noise)
+	r.Elapse(exec.Duration)
+}

@@ -1,0 +1,84 @@
+package insitu
+
+import (
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/units"
+)
+
+// The future-work policies must run cleanly end-to-end through the real
+// (rank-parallel, mini-MD) engine, not just the co-simulator.
+
+func extCons() core.Constraints {
+	return core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
+}
+
+func TestHierarchicalEndToEnd(t *testing.T) {
+	h := core.MustNewHierarchical(core.DefaultHierarchicalConfig(extCons()))
+	res, err := Run(tinyConfig(h, []string{"msd"}, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainLoopTime <= 0 {
+		t.Fatal("no runtime")
+	}
+	// Caps stay within hardware bounds throughout.
+	for _, r := range res.SyncLog.Records {
+		for _, c := range []units.Watts{r.SimCap, r.AnaCap} {
+			if c != 0 && (c < 98 || c > 215) {
+				t.Fatalf("cap %v out of range at step %d", c, r.Step)
+			}
+		}
+	}
+}
+
+func TestExploringEndToEnd(t *testing.T) {
+	cfg := core.DefaultExploringConfig(extCons())
+	cfg.Period = 8
+	e := core.MustNewExploringSeeSAw(cfg)
+	res, err := Run(tinyConfig(e, []string{"msd"}, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(tinyConfig(core.NewStatic(), []string{"msd"}, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exploration must not regress below the static baseline by more
+	// than probe noise.
+	if float64(res.MainLoopTime) > float64(static.MainLoopTime)*1.03 {
+		t.Errorf("exploring seesaw %v much slower than static %v", res.MainLoopTime, static.MainLoopTime)
+	}
+}
+
+func TestPowerShiftEndToEnd(t *testing.T) {
+	// Profiles handed to PowerShift here are synthetic but shaped like
+	// the workload: the analysis (MSD) benefits from power, the
+	// simulation saturates low at this problem size.
+	ps := core.MustNewPowerShift(core.PowerShiftConfig{
+		Constraints: extCons(),
+		SimProfile: core.Profile{
+			{PerNode: 98, Time: 5.6}, {PerNode: 110, Time: 5.2}, {PerNode: 130, Time: 5.1},
+		},
+		AnaProfile: core.Profile{
+			{PerNode: 98, Time: 6.3}, {PerNode: 110, Time: 5.4}, {PerNode: 130, Time: 4.8},
+		},
+		GridStep: 1,
+	})
+	res, err := Run(tinyConfig(ps, []string{"msd"}, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, ana := ps.ChosenSplit()
+	if sim == 0 || ana == 0 {
+		t.Fatal("powershift never chose a split")
+	}
+	if !(ana > sim) {
+		t.Errorf("profiles favor the analysis; chosen %v/%v", sim, ana)
+	}
+	last := res.SyncLog.Records[res.SyncLog.Len()-1]
+	if last.AnaCap != ana || last.SimCap != sim {
+		t.Errorf("chosen split %v/%v not in force at the end (%v/%v)", sim, ana, last.SimCap, last.AnaCap)
+	}
+}

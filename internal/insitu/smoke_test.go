@@ -1,0 +1,50 @@
+package insitu
+
+import (
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/units"
+)
+
+// smokeConfig returns a small but realistic job configuration.
+func smokeConfig(policy core.Policy, analyses []string) Config {
+	n := 4 // 2 sim + 2 ana nodes
+	cons := core.Constraints{Budget: units.Watts(110 * n), MinCap: 98, MaxCap: 215}
+	return Config{
+		SimRanks:    2,
+		AnaRanks:    2,
+		Steps:       60,
+		SyncEvery:   1,
+		Analyses:    analyses,
+		Policy:      policy,
+		Constraints: cons,
+		Seed:        7,
+	}
+}
+
+func TestSmokeStaticVsSeeSAw(t *testing.T) {
+	analyses := []string{"msd"}
+
+	static, err := Run(smokeConfig(core.NewStatic(), analyses))
+	if err != nil {
+		t.Fatalf("static run: %v", err)
+	}
+	cons := core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
+	ss, err := Run(smokeConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), analyses))
+	if err != nil {
+		t.Fatalf("seesaw run: %v", err)
+	}
+	t.Logf("static: time=%v syncs=%d slack=%.4f energy=%v", static.MainLoopTime, static.Syncs, static.SyncLog.MeanSlackFrom(10), static.TotalEnergy)
+	t.Logf("seesaw: time=%v syncs=%d slack=%.4f energy=%v", ss.MainLoopTime, ss.Syncs, ss.SyncLog.MeanSlackFrom(10), ss.TotalEnergy)
+	for i, r := range ss.SyncLog.Records {
+		if i < 25 {
+			t.Logf("step %2d: simT=%.5f anaT=%.5f simP=%.1f anaP=%.1f simCap=%.1f anaCap=%.1f slack=%.3f",
+				r.Step, float64(r.SimTime), float64(r.AnaTime), float64(r.SimPower), float64(r.AnaPower),
+				float64(r.SimCap), float64(r.AnaCap), r.Slack())
+		}
+	}
+	if static.MainLoopTime <= 0 || ss.MainLoopTime <= 0 {
+		t.Fatalf("non-positive runtimes")
+	}
+}

@@ -1,0 +1,219 @@
+// Package jobfile loads and validates JSON job descriptions for the
+// command-line tools, so experiment cells can be versioned as files
+// instead of flag soup:
+//
+//	{
+//	  "nodes": 128,
+//	  "dim": 16,
+//	  "j": 1,
+//	  "steps": 400,
+//	  "analyses": [{"name": "msd"}, {"name": "rdf", "interval": 4}],
+//	  "policy": "seesaw",
+//	  "window": 1,
+//	  "cap_per_node_w": 110,
+//	  "initial_sim_cap_w": 120,
+//	  "initial_ana_cap_w": 100,
+//	  "cap_mode": "long",
+//	  "seed": 1
+//	}
+package jobfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// Analysis is one analysis entry.
+type Analysis struct {
+	Name     string `json:"name"`
+	Interval int    `json:"interval,omitempty"`
+}
+
+// Job is the JSON schema of one co-simulated job.
+type Job struct {
+	Nodes    int        `json:"nodes"`
+	SimNodes int        `json:"sim_nodes,omitempty"`
+	AnaNodes int        `json:"ana_nodes,omitempty"`
+	Dim      int        `json:"dim"`
+	J        int        `json:"j,omitempty"`
+	Steps    int        `json:"steps"`
+	Analyses []Analysis `json:"analyses"`
+
+	Policy string `json:"policy,omitempty"`
+	Window int    `json:"window,omitempty"`
+
+	CapPerNodeW    float64 `json:"cap_per_node_w,omitempty"`
+	InitialSimCapW float64 `json:"initial_sim_cap_w,omitempty"`
+	InitialAnaCapW float64 `json:"initial_ana_cap_w,omitempty"`
+	MinCapW        float64 `json:"min_cap_w,omitempty"`
+	MaxCapW        float64 `json:"max_cap_w,omitempty"`
+	CapMode        string  `json:"cap_mode,omitempty"` // "none", "long", "long+short"
+
+	Seed    uint64 `json:"seed,omitempty"`
+	RunSeed uint64 `json:"run_seed,omitempty"`
+	NoNoise bool   `json:"no_noise,omitempty"`
+}
+
+// Load reads a job description from r.
+func Load(r io.Reader) (*Job, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var j Job
+	if err := dec.Decode(&j); err != nil {
+		return nil, fmt.Errorf("jobfile: %w", err)
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// LoadFile reads a job description from a file path.
+func LoadFile(path string) (*Job, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobfile: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Validate checks the description and fills no defaults (Build applies
+// them).
+func (j *Job) Validate() error {
+	if j.Nodes <= 0 && (j.SimNodes <= 0 || j.AnaNodes <= 0) {
+		return fmt.Errorf("jobfile: need nodes, or sim_nodes and ana_nodes")
+	}
+	if j.Nodes > 0 && (j.SimNodes > 0 || j.AnaNodes > 0) && j.SimNodes+j.AnaNodes != j.Nodes {
+		return fmt.Errorf("jobfile: nodes=%d inconsistent with sim_nodes+ana_nodes=%d",
+			j.Nodes, j.SimNodes+j.AnaNodes)
+	}
+	if j.Dim <= 0 {
+		return fmt.Errorf("jobfile: dim must be positive")
+	}
+	if j.Steps <= 0 {
+		return fmt.Errorf("jobfile: steps must be positive")
+	}
+	if len(j.Analyses) == 0 {
+		return fmt.Errorf("jobfile: at least one analysis required")
+	}
+	switch j.CapMode {
+	case "", "none", "long", "long+short":
+	default:
+		return fmt.Errorf("jobfile: unknown cap_mode %q", j.CapMode)
+	}
+	switch j.Policy {
+	case "", "static", "seesaw", "power-aware", "time-aware":
+	default:
+		return fmt.Errorf("jobfile: unknown policy %q", j.Policy)
+	}
+	return nil
+}
+
+// Build converts the description into a runnable cosim configuration,
+// applying the paper's defaults (110 W per node, 98/215 W range, long
+// caps, w=1).
+func (j *Job) Build() (cosim.Config, error) {
+	simNodes, anaNodes := j.SimNodes, j.AnaNodes
+	if simNodes == 0 || anaNodes == 0 {
+		simNodes = j.Nodes / 2
+		anaNodes = j.Nodes - simNodes
+	}
+	tasks := make([]workload.AnalysisTask, len(j.Analyses))
+	for i, a := range j.Analyses {
+		tasks[i] = workload.AnalysisTask{Name: a.Name, Interval: a.Interval}
+	}
+	spec := workload.Spec{
+		SimNodes: simNodes, AnaNodes: anaNodes,
+		Dim: j.Dim, J: j.J, Steps: j.Steps, Analyses: tasks,
+	}
+	if err := spec.Validate(); err != nil {
+		return cosim.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
+
+	capPer := j.CapPerNodeW
+	if capPer == 0 {
+		capPer = 110
+	}
+	minCap := j.MinCapW
+	if minCap == 0 {
+		minCap = 98
+	}
+	maxCap := j.MaxCapW
+	if maxCap == 0 {
+		maxCap = 215
+	}
+	cons := core.Constraints{
+		Budget: units.Watts(capPer) * units.Watts(simNodes+anaNodes),
+		MinCap: units.Watts(minCap),
+		MaxCap: units.Watts(maxCap),
+	}
+
+	window := j.Window
+	if window < 1 {
+		window = 1
+	}
+	policyName := j.Policy
+	if policyName == "" {
+		policyName = "static"
+	}
+	policy, err := buildPolicy(policyName, cons, window)
+	if err != nil {
+		return cosim.Config{}, err
+	}
+
+	mode := cosim.CapLong
+	switch j.CapMode {
+	case "none":
+		mode = cosim.CapNone
+	case "long+short":
+		mode = cosim.CapLongShort
+	}
+
+	noise := machine.DefaultNoise()
+	if j.NoNoise {
+		noise = machine.NoiseModel{}
+	}
+	seed := j.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return cosim.Config{
+		Spec:          spec,
+		Policy:        policy,
+		Constraints:   cons,
+		InitialSimCap: units.Watts(j.InitialSimCapW),
+		InitialAnaCap: units.Watts(j.InitialAnaCapW),
+		CapMode:       mode,
+		Seed:          seed,
+		RunSeed:       j.RunSeed,
+		Noise:         noise,
+	}, nil
+}
+
+// buildPolicy mirrors bench.NewPolicy (jobfile sits below the experiment
+// layer).
+func buildPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
+	switch name {
+	case "static":
+		return core.NewStatic(), nil
+	case "seesaw":
+		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
+	case "power-aware":
+		cfg := core.DefaultPowerAwareConfig(cons)
+		cfg.Window = w
+		return core.NewPowerAware(cfg)
+	case "time-aware":
+		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
+	default:
+		return nil, fmt.Errorf("jobfile: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,149 @@
+package jobfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seesaw/internal/cosim"
+)
+
+const validJSON = `{
+  "nodes": 8,
+  "dim": 16,
+  "j": 1,
+  "steps": 20,
+  "analyses": [{"name": "msd"}, {"name": "rdf", "interval": 4}],
+  "policy": "seesaw",
+  "window": 2,
+  "cap_per_node_w": 110,
+  "seed": 7
+}`
+
+func TestLoadValid(t *testing.T) {
+	j, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Nodes != 8 || j.Policy != "seesaw" || j.Window != 2 {
+		t.Errorf("parsed job wrong: %+v", j)
+	}
+	if len(j.Analyses) != 2 || j.Analyses[1].Interval != 4 {
+		t.Errorf("analyses wrong: %+v", j.Analyses)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"nodes": 8, "dim": 16, "steps": 10,
+		"analyses": [{"name":"msd"}], "bogus_field": 1}`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []string{
+		`{"dim": 16, "steps": 10, "analyses": [{"name":"msd"}]}`,                                             // no nodes
+		`{"nodes": 8, "steps": 10, "analyses": [{"name":"msd"}]}`,                                            // no dim
+		`{"nodes": 8, "dim": 16, "analyses": [{"name":"msd"}]}`,                                              // no steps
+		`{"nodes": 8, "dim": 16, "steps": 10, "analyses": []}`,                                               // no analyses
+		`{"nodes": 8, "sim_nodes": 2, "ana_nodes": 2, "dim": 16, "steps": 10, "analyses": [{"name":"msd"}]}`, // inconsistent
+		`{"nodes": 8, "dim": 16, "steps": 10, "analyses": [{"name":"msd"}], "cap_mode": "weird"}`,            // bad mode
+		`{"nodes": 8, "dim": 16, "steps": 10, "analyses": [{"name":"msd"}], "policy": "weird"}`,              // bad policy
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestBuildAndRun(t *testing.T) {
+	j, err := Load(strings.NewReader(validJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Spec.SimNodes != 4 || cfg.Spec.AnaNodes != 4 {
+		t.Errorf("node split = %d/%d", cfg.Spec.SimNodes, cfg.Spec.AnaNodes)
+	}
+	if cfg.Constraints.Budget != 880 {
+		t.Errorf("budget = %v", cfg.Constraints.Budget)
+	}
+	if cfg.Policy.Name() != "seesaw" {
+		t.Errorf("policy = %s", cfg.Policy.Name())
+	}
+	res, err := cosim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("job did not run")
+	}
+}
+
+func TestBuildDefaults(t *testing.T) {
+	j, err := Load(strings.NewReader(`{"nodes": 8, "dim": 16, "steps": 10,
+		"analyses": [{"name": "vacf"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := j.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy.Name() != "static" {
+		t.Errorf("default policy = %s, want static", cfg.Policy.Name())
+	}
+	if cfg.Constraints.MinCap != 98 || cfg.Constraints.MaxCap != 215 {
+		t.Errorf("default cap range = %v/%v", cfg.Constraints.MinCap, cfg.Constraints.MaxCap)
+	}
+	if cfg.CapMode != cosim.CapLong {
+		t.Error("default cap mode should be long")
+	}
+	if cfg.Seed != 1 {
+		t.Errorf("default seed = %d", cfg.Seed)
+	}
+}
+
+func TestBuildCapModes(t *testing.T) {
+	for mode, want := range map[string]cosim.CapMode{
+		"none":       cosim.CapNone,
+		"long":       cosim.CapLong,
+		"long+short": cosim.CapLongShort,
+	} {
+		j := &Job{Nodes: 8, Dim: 16, Steps: 10,
+			Analyses: []Analysis{{Name: "msd"}}, CapMode: mode}
+		cfg, err := j.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if cfg.CapMode != want {
+			t.Errorf("cap_mode %q -> %v, want %v", mode, cfg.CapMode, want)
+		}
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	if err := os.WriteFile(path, []byte(validJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestBuildRejectsUnknownAnalysis(t *testing.T) {
+	j := &Job{Nodes: 8, Dim: 16, Steps: 10, Analyses: []Analysis{{Name: "nope"}}}
+	if _, err := j.Build(); err == nil {
+		t.Error("unknown analysis should fail at Build")
+	}
+}

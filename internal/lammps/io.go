@@ -1,0 +1,80 @@
+// Trajectory and thermodynamic output: the XYZ dump format every MD
+// visualization tool reads, and the per-step thermo line LAMMPS prints
+// (step 8 of the Verlet-Splitanalysis flow requests thermodynamic data
+// at the end of each time step).
+package lammps
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// speciesSymbols maps species ids to element-like symbols for XYZ dumps.
+var speciesSymbols = [numSpecies]string{"O", "H3O", "Cl"}
+
+// WriteXYZ appends one frame in XYZ format: atom count, a comment line
+// with the step and box, then one "symbol x y z" line per atom.
+func WriteXYZ(w io.Writer, f *Frame) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d\n", len(f.Pos)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "step=%d box=%.6f\n", f.Step, f.Box); err != nil {
+		return err
+	}
+	for i, p := range f.Pos {
+		sym := "X"
+		if f.Typ[i] >= 0 && f.Typ[i] < numSpecies {
+			sym = speciesSymbols[f.Typ[i]]
+		}
+		if _, err := fmt.Fprintf(bw, "%s %.6f %.6f %.6f\n", sym, p[0], p[1], p[2]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Thermo is one step's thermodynamic summary, the data LAMMPS emits at
+// the end of each time step.
+type Thermo struct {
+	Step      int
+	Temp      float64
+	Kinetic   float64
+	Potential float64
+	Total     float64
+	Pressure  float64
+	MomentumX float64
+	MomentumY float64
+	MomentumZ float64
+}
+
+// ThermoLine captures the current thermodynamic state.
+func (s *System) ThermoLine() Thermo {
+	m := s.TotalMomentum()
+	ke := s.KineticEnergy()
+	return Thermo{
+		Step:      s.step,
+		Temp:      s.Temperature(),
+		Kinetic:   ke,
+		Potential: s.pe,
+		Total:     ke + s.pe,
+		Pressure:  s.Pressure(),
+		MomentumX: m[0],
+		MomentumY: m[1],
+		MomentumZ: m[2],
+	}
+}
+
+// WriteThermoHeader writes the column header of a thermo log.
+func WriteThermoHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "step,temp,ke,pe,etotal,press,px,py,pz")
+	return err
+}
+
+// WriteThermo appends one CSV thermo line.
+func WriteThermo(w io.Writer, t Thermo) error {
+	_, err := fmt.Fprintf(w, "%d,%.6f,%.4f,%.4f,%.4f,%.4f,%.2e,%.2e,%.2e\n",
+		t.Step, t.Temp, t.Kinetic, t.Potential, t.Total, t.Pressure, t.MomentumX, t.MomentumY, t.MomentumZ)
+	return err
+}

@@ -1,0 +1,501 @@
+// Package mpi is an in-process message-passing runtime with virtual
+// time, standing in for MPI in the paper's software stack. Ranks are
+// goroutines; communicators, sub-communicators (Split), collectives
+// (Barrier, Allreduce, Bcast, Gather, Allgather) and tagged point-to-point
+// messages are supported.
+//
+// # Virtual time
+//
+// Every rank carries a virtual clock. Local work advances only the local
+// clock (Elapse). Synchronizing operations merge clocks conservatively:
+// a collective completes at max(arrival clocks) + modeled communication
+// cost, and all participants leave with that clock; a receive completes
+// no earlier than the matching send plus the message's flight time. This
+// yields deterministic, platform-independent timings: a "1024-node" job
+// is simply 1024 goroutines whose clocks interleave exactly as the
+// communication structure dictates.
+//
+// # SPMD discipline
+//
+// As with real MPI, all members of a communicator must issue the same
+// sequence of collective operations. The runtime checks the operation
+// name at each rendezvous and panics loudly on mismatches instead of
+// deadlocking silently.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"seesaw/internal/units"
+)
+
+// CostModel parameterizes communication timing.
+type CostModel struct {
+	// CollectiveLatency is the per-tree-hop latency of collectives.
+	CollectiveLatency units.Seconds
+	// P2PLatency is the flight latency of a point-to-point message.
+	P2PLatency units.Seconds
+	// SecondsPerByte converts payload size to transfer time.
+	SecondsPerByte float64
+}
+
+// DefaultCost returns a cost model loosely calibrated to the Cray Aries
+// interconnect of Theta: a few microseconds per hop, ~10 GB/s effective
+// per-link bandwidth.
+func DefaultCost() CostModel {
+	return CostModel{
+		CollectiveLatency: 1.5e-6,
+		P2PLatency:        2.0e-6,
+		SecondsPerByte:    1.0e-10,
+	}
+}
+
+// CollectiveCost returns the modeled duration of a collective over k
+// ranks moving the given payload bytes (log-tree algorithm).
+func (c CostModel) CollectiveCost(k, bytes int) units.Seconds {
+	if k <= 1 {
+		return 0
+	}
+	hops := math.Ceil(math.Log2(float64(k)))
+	per := float64(c.CollectiveLatency) + float64(bytes)*c.SecondsPerByte
+	return units.Seconds(hops * per)
+}
+
+// P2PCost returns the modeled flight time of a point-to-point message.
+func (c CostModel) P2PCost(bytes int) units.Seconds {
+	return c.P2PLatency + units.Seconds(float64(bytes)*c.SecondsPerByte)
+}
+
+// Runtime hosts one job's ranks and mailboxes.
+type Runtime struct {
+	size int
+	cost CostModel
+
+	mail []*mailbox
+}
+
+// message is a point-to-point payload in flight.
+type message struct {
+	src     int
+	tag     int
+	payload any
+	bytes   int
+	arrive  units.Seconds // earliest virtual time the receiver may own it
+}
+
+// mailbox is one rank's incoming message store.
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queued messages in arrival order; matching is by (src, tag).
+	msgs []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Rank is the per-goroutine handle to the runtime: a world rank id, a
+// virtual clock and the world communicator.
+type Rank struct {
+	rt    *Runtime
+	id    int
+	clock units.Seconds
+	world *Comm
+}
+
+// Run executes body on n concurrent ranks and blocks until all return.
+// A panic on any rank is captured and returned as an error naming the
+// rank. All clocks start at zero.
+func Run(n int, cost CostModel, body func(r *Rank)) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: rank count must be positive, got %d", n)
+	}
+	rt := &Runtime{size: n, cost: cost, mail: make([]*mailbox, n)}
+	for i := range rt.mail {
+		rt.mail[i] = newMailbox()
+	}
+	worldGroup := newGroup(identity(n))
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, r)
+				}
+			}()
+			rank := &Rank{rt: rt, id: id}
+			rank.world = &Comm{rank: rank, group: worldGroup, myRank: id}
+			body(rank)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func identity(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// WorldRank returns the rank's id in the world communicator.
+func (r *Rank) WorldRank() int { return r.id }
+
+// Cost returns the runtime's communication cost model, so higher layers
+// can account modeled communication costs explicitly.
+func (r *Rank) Cost() CostModel { return r.rt.cost }
+
+// WorldSize returns the job's total rank count.
+func (r *Rank) WorldSize() int { return r.rt.size }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.world }
+
+// Clock returns the rank's current virtual time.
+func (r *Rank) Clock() units.Seconds { return r.clock }
+
+// Elapse advances the local clock by d (local computation).
+func (r *Rank) Elapse(d units.Seconds) {
+	if d < 0 {
+		panic("mpi: negative elapse")
+	}
+	r.clock += d
+}
+
+// AdvanceTo moves the local clock forward to t if t is later.
+func (r *Rank) AdvanceTo(t units.Seconds) {
+	if t > r.clock {
+		r.clock = t
+	}
+}
+
+// Send delivers a payload of the given modeled size to dst (world rank)
+// with a tag. The send is buffered: the sender continues immediately,
+// paying only the injection latency locally.
+func (r *Rank) Send(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= r.rt.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	flight := r.rt.cost.P2PCost(bytes)
+	msg := message{src: r.id, tag: tag, payload: payload, bytes: bytes, arrive: r.clock + flight}
+	mb := r.rt.mail[dst]
+	mb.mu.Lock()
+	mb.msgs = append(mb.msgs, msg)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+	// Injection overhead on the sender side.
+	r.clock += r.rt.cost.P2PLatency
+}
+
+// Recv blocks until a message from src with the given tag is available,
+// advances the clock to the message's arrival time, and returns the
+// payload.
+func (r *Rank) Recv(src, tag int) any {
+	mb := r.rt.mail[r.id]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.msgs {
+			if m.src == src && m.tag == tag {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				r.AdvanceTo(m.arrive)
+				return m.payload
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// group is the shared state of a communicator: its members and the
+// rendezvous slot used by collectives.
+type group struct {
+	members []int // world ids, ordered by rank-in-group
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	gen      int
+	opName   string
+	count    int
+	inputs   []any
+	clocks   []units.Seconds
+	bytes    int
+	reduce   func(inputs []any) any
+	result   any
+	resClock units.Seconds
+	// poisoned is set when a member detected a collective mismatch;
+	// all waiters abort instead of hanging.
+	poisoned string
+}
+
+func newGroup(members []int) *group {
+	g := &group{
+		members: members,
+		inputs:  make([]any, len(members)),
+		clocks:  make([]units.Seconds, len(members)),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// Comm is a per-rank handle to a communicator.
+type Comm struct {
+	rank   *Rank
+	group  *group
+	myRank int
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the communicator's member count.
+func (c *Comm) Size() int { return len(c.group.members) }
+
+// WorldRankOf translates a rank in this communicator to a world rank.
+func (c *Comm) WorldRankOf(rank int) int { return c.group.members[rank] }
+
+// rendezvous runs one lockstep collective: every member contributes
+// (opName, input, payload bytes); the last arriver reduces and publishes;
+// all leave with the merged clock. The cost model charges a log-tree
+// traversal over the max payload size.
+func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(inputs []any) any) any {
+	g := c.group
+	k := len(g.members)
+	if k == 1 {
+		// Single-member communicator: the operation is local.
+		out := reduce([]any{input})
+		return out
+	}
+	g.mu.Lock()
+	myGen := g.gen
+	if g.poisoned != "" {
+		msg := g.poisoned
+		g.mu.Unlock()
+		panic(msg)
+	}
+	if g.count == 0 {
+		g.opName = opName
+		g.bytes = bytes
+		g.reduce = reduce
+	} else if g.opName != opName {
+		g.poisoned = fmt.Sprintf("mpi: collective mismatch on communicator: %q vs %q", g.opName, opName)
+		g.cond.Broadcast()
+		msg := g.poisoned
+		g.mu.Unlock()
+		panic(msg)
+	}
+	if bytes > g.bytes {
+		g.bytes = bytes
+	}
+	g.inputs[c.myRank] = input
+	g.clocks[c.myRank] = c.rank.clock
+	g.count++
+	if g.count == k {
+		// Last arriver: merge clocks, charge cost, reduce. A panicking
+		// reduce (malformed collective arguments) must poison the group
+		// so waiters abort instead of hanging.
+		var maxClock units.Seconds
+		for _, cl := range g.clocks {
+			if cl > maxClock {
+				maxClock = cl
+			}
+		}
+		cost := c.rank.rt.cost.CollectiveCost(k, g.bytes)
+		g.resClock = maxClock + cost
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.poisoned = fmt.Sprint(rec)
+					g.cond.Broadcast()
+					g.mu.Unlock()
+					panic(rec)
+				}
+			}()
+			g.result = g.reduce(g.inputs)
+		}()
+		g.count = 0
+		g.gen++
+		g.cond.Broadcast()
+	} else {
+		for g.gen == myGen && g.poisoned == "" {
+			g.cond.Wait()
+		}
+		if g.poisoned != "" {
+			msg := g.poisoned
+			g.mu.Unlock()
+			panic(msg)
+		}
+	}
+	res := g.result
+	c.rank.AdvanceTo(g.resClock)
+	g.mu.Unlock()
+	return res
+}
+
+// Barrier blocks until all members arrive; all leave at the merged
+// clock plus the collective cost.
+func (c *Comm) Barrier() {
+	c.rendezvous("barrier", nil, 8, func([]any) any { return nil })
+}
+
+// AllreduceSum element-wise sums float64 slices across members. All
+// slices must have equal length.
+func (c *Comm) AllreduceSum(vals []float64) []float64 {
+	res := c.rendezvous("allreduce-sum", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
+		out := make([]float64, len(inputs[0].([]float64)))
+		for _, in := range inputs {
+			xs := in.([]float64)
+			if len(xs) != len(out) {
+				panic("mpi: allreduce length mismatch")
+			}
+			for i, x := range xs {
+				out[i] += x
+			}
+		}
+		return out
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// AllreduceMax element-wise maxes float64 slices across members.
+func (c *Comm) AllreduceMax(vals []float64) []float64 {
+	res := c.rendezvous("allreduce-max", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
+		out := append([]float64(nil), inputs[0].([]float64)...)
+		for _, in := range inputs[1:] {
+			xs := in.([]float64)
+			if len(xs) != len(out) {
+				panic("mpi: allreduce length mismatch")
+			}
+			for i, x := range xs {
+				if x > out[i] {
+					out[i] = x
+				}
+			}
+		}
+		return out
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// AllreduceMin element-wise mins float64 slices across members.
+func (c *Comm) AllreduceMin(vals []float64) []float64 {
+	res := c.rendezvous("allreduce-min", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
+		out := append([]float64(nil), inputs[0].([]float64)...)
+		for _, in := range inputs[1:] {
+			xs := in.([]float64)
+			if len(xs) != len(out) {
+				panic("mpi: allreduce length mismatch")
+			}
+			for i, x := range xs {
+				if x < out[i] {
+					out[i] = x
+				}
+			}
+		}
+		return out
+	})
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// Bcast distributes root's payload (of modeled size bytes) to all
+// members; every caller returns the root's payload.
+func (c *Comm) Bcast(root int, payload any, bytes int) any {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: bcast root %d out of range", root))
+	}
+	return c.rendezvous("bcast", payload, bytes, func(inputs []any) any {
+		return inputs[root]
+	})
+}
+
+// Allgather collects every member's payload; index i of the result is
+// rank i's contribution.
+func (c *Comm) Allgather(payload any, bytes int) []any {
+	res := c.rendezvous("allgather", payload, bytes*c.Size(), func(inputs []any) any {
+		return append([]any(nil), inputs...)
+	})
+	return res.([]any)
+}
+
+// Gather collects payloads at root; root receives the full slice, other
+// ranks receive nil. (All ranks still synchronize, matching MPI_Gather's
+// completion semantics under the conservative clock model.)
+func (c *Comm) Gather(root int, payload any, bytes int) []any {
+	res := c.rendezvous("gather", payload, bytes, func(inputs []any) any {
+		return append([]any(nil), inputs...)
+	})
+	if c.myRank != root {
+		return nil
+	}
+	return res.([]any)
+}
+
+// splitKey carries one rank's Split contribution.
+type splitKey struct {
+	color, key, world, rank int
+}
+
+// Split partitions the communicator by color, ordering ranks within each
+// new communicator by (key, old rank), mirroring MPI_Comm_split. Ranks
+// passing a negative color receive nil (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) *Comm {
+	res := c.rendezvous("split", splitKey{color: color, key: key, world: c.rank.id, rank: c.myRank}, 16,
+		func(inputs []any) any {
+			byColor := make(map[int][]splitKey)
+			for _, in := range inputs {
+				sk := in.(splitKey)
+				if sk.color < 0 {
+					continue
+				}
+				byColor[sk.color] = append(byColor[sk.color], sk)
+			}
+			groups := make(map[int]*group)
+			for color, sks := range byColor {
+				sort.Slice(sks, func(i, j int) bool {
+					if sks[i].key != sks[j].key {
+						return sks[i].key < sks[j].key
+					}
+					return sks[i].rank < sks[j].rank
+				})
+				members := make([]int, len(sks))
+				for i, sk := range sks {
+					members[i] = sk.world
+				}
+				groups[color] = newGroup(members)
+			}
+			return groups
+		})
+	if color < 0 {
+		return nil
+	}
+	groups := res.(map[int]*group)
+	g := groups[color]
+	myRank := -1
+	for i, w := range g.members {
+		if w == c.rank.id {
+			myRank = i
+			break
+		}
+	}
+	if myRank < 0 {
+		panic("mpi: split bookkeeping error")
+	}
+	return &Comm{rank: c.rank, group: g, myRank: myRank}
+}

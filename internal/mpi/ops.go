@@ -1,0 +1,150 @@
+// Additional message-passing operations: rooted reductions, scatter,
+// combined send-receive, non-blocking point-to-point, and wall-clock
+// access — the parts of the MPI surface PoLiMER-style libraries and
+// in-situ frameworks commonly use beyond the core collectives.
+package mpi
+
+import (
+	"fmt"
+
+	"seesaw/internal/units"
+)
+
+// ReduceSum element-wise sums float64 slices at root; root receives the
+// reduction, other ranks receive nil. All members synchronize.
+func (c *Comm) ReduceSum(root int, vals []float64) []float64 {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	res := c.rendezvous("reduce-sum", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
+		out := make([]float64, len(inputs[0].([]float64)))
+		for _, in := range inputs {
+			xs := in.([]float64)
+			if len(xs) != len(out) {
+				panic("mpi: reduce length mismatch")
+			}
+			for i, x := range xs {
+				out[i] += x
+			}
+		}
+		return out
+	})
+	if c.myRank != root {
+		return nil
+	}
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// ReduceMax element-wise maxes float64 slices at root.
+func (c *Comm) ReduceMax(root int, vals []float64) []float64 {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
+	}
+	res := c.rendezvous("reduce-max", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
+		out := append([]float64(nil), inputs[0].([]float64)...)
+		for _, in := range inputs[1:] {
+			xs := in.([]float64)
+			if len(xs) != len(out) {
+				panic("mpi: reduce length mismatch")
+			}
+			for i, x := range xs {
+				if x > out[i] {
+					out[i] = x
+				}
+			}
+		}
+		return out
+	})
+	if c.myRank != root {
+		return nil
+	}
+	return append([]float64(nil), res.([]float64)...)
+}
+
+// Scatter distributes one element of root's items slice to each member
+// (items must have exactly Size elements on the root; it is ignored on
+// other ranks). Every caller returns its element.
+func (c *Comm) Scatter(root int, items []any, bytesPer int) any {
+	if root < 0 || root >= c.Size() {
+		panic(fmt.Sprintf("mpi: scatter root %d out of range", root))
+	}
+	res := c.rendezvous("scatter", items, bytesPer, func(inputs []any) any {
+		rootItems, ok := inputs[root].([]any)
+		if !ok || len(rootItems) != len(inputs) {
+			panic(fmt.Sprintf("mpi: scatter requires %d items at the root", len(inputs)))
+		}
+		return rootItems
+	})
+	return res.([]any)[c.myRank]
+}
+
+// Sendrecv sends to dst and receives from src in one operation,
+// mirroring MPI_Sendrecv's deadlock-free exchange. dst and src are world
+// ranks.
+func (r *Rank) Sendrecv(dst, sendTag int, payload any, bytes int, src, recvTag int) any {
+	r.Send(dst, sendTag, payload, bytes)
+	return r.Recv(src, recvTag)
+}
+
+// Request is a handle to a non-blocking receive.
+type Request struct {
+	rank *Rank
+	src  int
+	tag  int
+
+	done    bool
+	payload any
+}
+
+// Irecv posts a non-blocking receive. The returned Request's Wait blocks
+// until the matching message arrives; Test polls without blocking.
+func (r *Rank) Irecv(src, tag int) *Request {
+	return &Request{rank: r, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the payload,
+// advancing the rank's clock to the message arrival.
+func (q *Request) Wait() any {
+	if q.done {
+		return q.payload
+	}
+	q.payload = q.rank.Recv(q.src, q.tag)
+	q.done = true
+	return q.payload
+}
+
+// Test reports whether a matching message is already available without
+// blocking or consuming it.
+func (q *Request) Test() bool {
+	if q.done {
+		return true
+	}
+	mb := q.rank.rt.mail[q.rank.id]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range mb.msgs {
+		if m.src == q.src && m.tag == q.tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Wtime returns the rank's virtual clock, mirroring MPI_Wtime.
+func (r *Rank) Wtime() units.Seconds { return r.clock }
+
+// TranslateRank maps a rank of this communicator into the corresponding
+// rank of another communicator sharing the same world, or -1 if the
+// process is not a member there.
+func (c *Comm) TranslateRank(rank int, other *Comm) int {
+	if rank < 0 || rank >= c.Size() {
+		return -1
+	}
+	world := c.group.members[rank]
+	for i, w := range other.group.members {
+		if w == world {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestReduceSum(t *testing.T) {
+	run(t, 4, func(r *Rank) {
+		res := r.World().ReduceSum(1, []float64{float64(r.WorldRank()), 2})
+		if r.WorldRank() == 1 {
+			if res[0] != 6 || res[1] != 8 {
+				panic(fmt.Sprintf("reduce sum = %v", res))
+			}
+		} else if res != nil {
+			panic("non-root should receive nil")
+		}
+	})
+}
+
+func TestReduceMax(t *testing.T) {
+	run(t, 4, func(r *Rank) {
+		res := r.World().ReduceMax(0, []float64{float64(r.WorldRank())})
+		if r.WorldRank() == 0 && res[0] != 3 {
+			panic(fmt.Sprintf("reduce max = %v", res))
+		}
+	})
+}
+
+func TestReduceRootOutOfRange(t *testing.T) {
+	err := Run(2, DefaultCost(), func(r *Rank) {
+		r.World().ReduceSum(5, []float64{1})
+	})
+	if err == nil {
+		t.Error("bad root should error")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	run(t, 3, func(r *Rank) {
+		var items []any
+		if r.WorldRank() == 0 {
+			items = []any{"a", "b", "c"}
+		}
+		got := r.World().Scatter(0, items, 8)
+		want := string(rune('a' + r.WorldRank()))
+		if got != want {
+			panic(fmt.Sprintf("scatter got %v want %v", got, want))
+		}
+	})
+}
+
+func TestScatterWrongLength(t *testing.T) {
+	err := Run(2, DefaultCost(), func(r *Rank) {
+		var items []any
+		if r.WorldRank() == 0 {
+			items = []any{"only-one"}
+		}
+		r.World().Scatter(0, items, 8)
+	})
+	if err == nil {
+		t.Error("scatter with wrong item count should error")
+	}
+}
+
+func TestSendrecv(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		peer := 1 - r.WorldRank()
+		got := r.Sendrecv(peer, 3, r.WorldRank()*100, 8, peer, 3)
+		if got != peer*100 {
+			panic(fmt.Sprintf("sendrecv got %v", got))
+		}
+	})
+}
+
+func TestIrecvWait(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.WorldRank() == 0 {
+			req := r.Irecv(1, 9)
+			if got := req.Wait(); got != "late" {
+				panic("wrong payload")
+			}
+			// A second Wait returns the cached payload.
+			if got := req.Wait(); got != "late" {
+				panic("second Wait lost the payload")
+			}
+		} else {
+			r.Elapse(0.5)
+			r.Send(0, 9, "late", 8)
+		}
+	})
+}
+
+func TestIrecvTest(t *testing.T) {
+	run(t, 2, func(r *Rank) {
+		if r.WorldRank() == 0 {
+			req := r.Irecv(1, 4)
+			// Ensure the message is in flight before testing.
+			r.World().Barrier()
+			for !req.Test() {
+			}
+			if got := req.Wait(); got != 42 {
+				panic("wrong payload after Test")
+			}
+		} else {
+			r.Send(0, 4, 42, 8)
+			r.World().Barrier()
+		}
+	})
+}
+
+func TestWtime(t *testing.T) {
+	run(t, 1, func(r *Rank) {
+		r.Elapse(2.5)
+		if r.Wtime() != 2.5 {
+			panic("Wtime mismatch")
+		}
+	})
+}
+
+func TestTranslateRank(t *testing.T) {
+	run(t, 6, func(r *Rank) {
+		sub := r.World().Split(r.WorldRank()%2, r.WorldRank())
+		// Rank i of the even communicator is world rank 2i.
+		if r.WorldRank()%2 == 0 {
+			w := sub.TranslateRank(sub.Rank(), r.World())
+			if w != r.WorldRank() {
+				panic(fmt.Sprintf("translate %d -> %d, want %d", sub.Rank(), w, r.WorldRank()))
+			}
+			if sub.TranslateRank(99, r.World()) != -1 {
+				panic("out-of-range rank should translate to -1")
+			}
+		}
+		r.World().Barrier()
+	})
+}

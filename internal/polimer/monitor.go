@@ -1,0 +1,103 @@
+// Monitoring API: the counterpart of PoLiMER's poli_get_* functions
+// (Marincic et al., E2SC'17) — on-demand power/energy/time readings and
+// a periodic sampler, reading the node's energy through the wrapped
+// hardware register the way the real library reads MSRs.
+package polimer
+
+import (
+	"fmt"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/rapl"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+)
+
+// Monitor provides power monitoring for one node, independent of the
+// power-allocation manager (PoLiMER separates monitoring from capping).
+type Monitor struct {
+	node *machine.Node
+
+	unwrap    rapl.EnergyUnwrapper
+	lastTime  units.Seconds
+	lastTotal units.Joules
+
+	series *trace.Series
+	period units.Seconds
+	nextAt units.Seconds
+}
+
+// NewMonitor attaches a monitor to a node. When period > 0, Poll records
+// a power sample into Series each time the node's busy+idle time crosses
+// a sampling boundary.
+func NewMonitor(node *machine.Node, period units.Seconds) (*Monitor, error) {
+	if node == nil {
+		return nil, fmt.Errorf("polimer: monitor needs a node")
+	}
+	m := &Monitor{node: node, period: period}
+	if period > 0 {
+		m.series = &trace.Series{Name: fmt.Sprintf("node-%d", node.ID())}
+		m.nextAt = period
+	}
+	// Establish the register baseline.
+	m.unwrap.Update(node.RAPL().EnergyRegister())
+	return m, nil
+}
+
+// now returns the node's local virtual time.
+func (m *Monitor) now() units.Seconds { return m.node.BusyTime() + m.node.IdleTime() }
+
+// Energy returns the node's cumulative energy as reconstructed from the
+// wrapped hardware register (poli_get_energy).
+func (m *Monitor) Energy() units.Joules {
+	return m.unwrap.Update(m.node.RAPL().EnergyRegister())
+}
+
+// Time returns the node's elapsed virtual time (poli_get_time).
+func (m *Monitor) Time() units.Seconds { return m.now() }
+
+// Power returns the average power since the previous Power call
+// (poli_get_power's interval semantics). The first call averages from
+// the monitor's creation.
+func (m *Monitor) Power() units.Watts {
+	now := m.now()
+	total := m.Energy()
+	dt := now - m.lastTime
+	de := total - m.lastTotal
+	m.lastTime = now
+	m.lastTotal = total
+	return units.AvgPower(de, dt)
+}
+
+// Poll advances the periodic sampler: it records one sample per elapsed
+// period boundary using the interval's average power. Call it after
+// phase executions; it is a no-op without a sampling period.
+func (m *Monitor) Poll() {
+	if m.period <= 0 {
+		return
+	}
+	now := m.now()
+	total := m.Energy()
+	for m.nextAt <= now {
+		// Interpolate the energy at the boundary: within a poll window
+		// the node's draw is treated as uniform.
+		frac := 1.0
+		if now > m.lastTime {
+			frac = float64(m.nextAt-m.lastTime) / float64(now-m.lastTime)
+		}
+		atBoundary := m.lastTotal + units.Joules(float64(total-m.lastTotal)*frac)
+		dt := m.nextAt - m.lastTime
+		de := atBoundary - m.lastTotal
+		m.series.Add(m.nextAt, float64(units.AvgPower(de, dt)))
+		m.lastTime = m.nextAt
+		m.lastTotal = atBoundary
+		m.nextAt += m.period
+	}
+}
+
+// Series returns the recorded samples (nil without a sampling period).
+func (m *Monitor) Series() *trace.Series { return m.series }
+
+// CapWrites reports how many cap writes the node's RAPL domain has seen,
+// exposing actuation activity to monitoring tools.
+func (m *Monitor) CapWrites() int { return m.node.RAPL().CapWrites() }

@@ -1,0 +1,118 @@
+package polimer
+
+import (
+	"testing"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/rapl"
+	"seesaw/internal/units"
+)
+
+func monNode() *machine.Node {
+	return machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.NoiseModel{}, 1)
+}
+
+func TestNewMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, 0); err == nil {
+		t.Error("nil node should be rejected")
+	}
+}
+
+func TestMonitorEnergyAndTime(t *testing.T) {
+	n := monNode()
+	m, err := NewMonitor(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Idle(2) // 2 s at 104 W = 208 J
+	if got := m.Time(); got != 2 {
+		t.Errorf("Time = %v", got)
+	}
+	e := float64(m.Energy())
+	if e < 207 || e > 209 {
+		t.Errorf("Energy = %v, want ~208 J", e)
+	}
+}
+
+func TestMonitorPowerIntervals(t *testing.T) {
+	n := monNode()
+	m, err := NewMonitor(n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Idle(1) // 104 W
+	p1 := float64(m.Power())
+	if p1 < 103 || p1 > 105 {
+		t.Errorf("first interval power = %v, want ~104", p1)
+	}
+	// Second interval: a compute phase at higher power.
+	n.Run(machine.Phase{Name: "c", Nominal: 1, Demand: 130, Saturation: 140, Sensitivity: 0.9},
+		machine.NoiseModel{})
+	p2 := float64(m.Power())
+	if p2 < 128 || p2 > 132 {
+		t.Errorf("second interval power = %v, want ~130", p2)
+	}
+}
+
+func TestMonitorSampling(t *testing.T) {
+	n := monNode()
+	m, err := NewMonitor(n, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		n.Idle(0.3)
+		m.Poll()
+	}
+	s := m.Series()
+	if s == nil {
+		t.Fatal("no series with a sampling period")
+	}
+	// 2.4 s of activity at 0.5 s sampling -> 4 samples.
+	if s.Len() != 4 {
+		t.Errorf("samples = %d, want 4", s.Len())
+	}
+	for _, v := range s.Values() {
+		if v < 100 || v > 108 {
+			t.Errorf("sample %v outside idle band", v)
+		}
+	}
+}
+
+func TestMonitorNoSamplingPeriod(t *testing.T) {
+	n := monNode()
+	m, _ := NewMonitor(n, 0)
+	n.Idle(1)
+	m.Poll() // no-op
+	if m.Series() != nil {
+		t.Error("series should be nil without a period")
+	}
+}
+
+func TestMonitorCapWrites(t *testing.T) {
+	n := monNode()
+	m, _ := NewMonitor(n, 0)
+	n.RAPL().SetLongCap(110)
+	if m.CapWrites() != 1 {
+		t.Errorf("CapWrites = %d", m.CapWrites())
+	}
+}
+
+func TestMonitorSurvivesRegisterWrap(t *testing.T) {
+	n := monNode()
+	m, _ := NewMonitor(n, 0)
+	// Drive enough energy through the node to wrap the 32-bit register
+	// (~262 kJ) and verify the unwrapped reading stays monotonic.
+	var prev units.Joules
+	for i := 0; i < 40; i++ {
+		n.Idle(100) // 100 s at 104 W = 10.4 kJ per chunk
+		e := m.Energy()
+		if e < prev {
+			t.Fatalf("energy went backwards after wrap: %v < %v", e, prev)
+		}
+		prev = e
+	}
+	if float64(prev) < 300000 {
+		t.Fatalf("test did not cross the wrap point: %v", prev)
+	}
+}

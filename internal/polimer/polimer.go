@@ -1,0 +1,262 @@
+// Package polimer reimplements the PoLiMER application-level power
+// management library the paper extends (Marincic et al., E2SC'17): power
+// monitoring and capping for distributed message-passing applications,
+// with the two-call instrumentation interface of Section IV-B / VI-C:
+//
+//	mgr := polimer.Init(rank, world, role, node, opts)  // poli_init_power_manager
+//	...
+//	mgr.PowerAlloc()                                    // poli_power_alloc, before each sync
+//
+// Init supplies the application knowledge SeeSAw needs — each process's
+// identity as simulation or analysis and its initial power cap — and
+// PowerAlloc is invoked by every rank immediately before a
+// simulation/analysis synchronization.
+//
+// Measurement semantics follow Section VI-B: one monitor rank per node;
+// partition time is the slowest rank's interval time (including the time
+// to perform the previous power allocation); partition power is the sum
+// of node power measurements. Internally each PowerAlloc performs an
+// Allgather of per-node measurements (this doubles as the rendezvous of
+// the synchronization phase), lets the policy rank compute the new
+// allocation, broadcasts the caps, and writes them to the local RAPL
+// domain.
+package polimer
+
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/mpi"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+)
+
+// Options configures a rank's power manager.
+type Options struct {
+	// Policy is the allocation policy; only the policy root's instance
+	// is consulted. Must be non-nil on the root.
+	Policy core.Policy
+	// Constraints carry the global budget and per-node cap range.
+	Constraints core.Constraints
+	// InitialCap is the per-node cap installed at Init ("power_cap" of
+	// poli_init_power_manager). Zero leaves the node uncapped.
+	InitialCap units.Watts
+	// ShortTermCap additionally installs a short-term RAPL cap at the
+	// same value (the "Long and Short" capping mode of Table I).
+	ShortTermCap bool
+	// Root is the world rank that runs the policy (default 0).
+	Root int
+}
+
+// measure is the per-node record exchanged at each allocation.
+type measure struct {
+	role  core.Role
+	time  units.Seconds // allocator-to-allocator interval (work + wait)
+	busy  units.Seconds // pure work time
+	epoch units.Seconds // loop-level (epoch) view of the interval
+	power units.Watts
+	cap   units.Watts
+}
+
+// Manager is the per-rank PoLiMER handle.
+type Manager struct {
+	rank *mpi.Rank
+	comm *mpi.Comm
+	role core.Role
+	node *machine.Node
+	opts Options
+
+	lastClock  units.Seconds
+	lastEnergy units.Joules
+	prevWait   units.Seconds
+	extWait    units.Seconds
+
+	syncStep int
+	log      *trace.SyncLog // root only
+	overhead units.Seconds  // cumulative allocator overhead (local)
+	monitor  *Monitor       // optional periodic power sampler
+}
+
+// AttachMonitor registers a Monitor that PowerAlloc polls at every
+// synchronization, so sampled power traces cover the waits too.
+func (m *Manager) AttachMonitor(mon *Monitor) { m.monitor = mon }
+
+// Init creates the rank's power manager and installs the initial cap.
+// It mirrors poli_init_power_manager(comm, me, master, power_cap): comm
+// and me come from the mpi handle, master is the role, power_cap the
+// initial per-node cap.
+func Init(rank *mpi.Rank, role core.Role, node *machine.Node, opts Options) (*Manager, error) {
+	if node == nil {
+		return nil, fmt.Errorf("polimer: nil node")
+	}
+	if opts.Root < 0 || opts.Root >= rank.WorldSize() {
+		return nil, fmt.Errorf("polimer: root %d out of range", opts.Root)
+	}
+	if rank.WorldRank() == opts.Root && opts.Policy == nil {
+		return nil, fmt.Errorf("polimer: policy required on root rank")
+	}
+	m := &Manager{
+		rank: rank,
+		comm: rank.World(),
+		role: role,
+		node: node,
+		opts: opts,
+	}
+	if opts.InitialCap > 0 {
+		node.RAPL().SetLongCap(opts.InitialCap)
+		if opts.ShortTermCap {
+			node.RAPL().SetShortCap(opts.InitialCap)
+		}
+	}
+	if rank.WorldRank() == opts.Root {
+		m.log = &trace.SyncLog{}
+	}
+	m.lastClock = rank.Clock()
+	m.lastEnergy = node.RAPL().Energy()
+	return m, nil
+}
+
+// Role returns the rank's partition role.
+func (m *Manager) Role() core.Role { return m.role }
+
+// SyncLog returns the per-synchronization record log (nil on non-root
+// ranks).
+func (m *Manager) SyncLog() *trace.SyncLog { return m.log }
+
+// OverheadTotal returns the cumulative virtual time this rank spent
+// inside PowerAlloc (communication + actuation accounting).
+func (m *Manager) OverheadTotal() units.Seconds { return m.overhead }
+
+// NoteExternalWait records d seconds the rank spent blocked on
+// application communication (e.g. an analysis rank waiting for the
+// simulation's frame): the node idles through it (drawing idle power)
+// and the span counts as synchronization wait rather than busy time in
+// the interval measurements. Callers invoke it right after a blocking
+// receive, passing how far the receive advanced the virtual clock.
+func (m *Manager) NoteExternalWait(d units.Seconds) {
+	if d <= 0 {
+		return
+	}
+	m.node.Idle(d)
+	m.extWait += d
+}
+
+// PowerAlloc measures the just-completed interval, synchronizes with all
+// ranks, runs the policy, and applies new caps. It must be called by
+// every rank at each simulation/analysis synchronization point, exactly
+// like poli_power_alloc() in the instrumented LAMMPS.
+func (m *Manager) PowerAlloc() {
+	m.syncStep++
+	arrival := m.rank.Clock()
+
+	// Local interval measurement. The interval runs arrival-to-arrival
+	// of consecutive allocator calls, so it contains the previous
+	// synchronization's wait (charged as idle inside the previous call)
+	// plus any noted external waits plus the work — matching PoLiMER's
+	// semantics where poli_power_alloc brackets the synchronization.
+	dt := arrival - m.lastClock
+	e := m.node.RAPL().Energy() - m.lastEnergy
+	avgPower := units.AvgPower(e, dt)
+	busy := dt - m.extWait - m.prevWait
+	if busy < 0 {
+		busy = 0
+	}
+	wait := dt - busy
+	m.extWait = 0
+	my := measure{
+		role:  m.role,
+		time:  dt,
+		busy:  busy,
+		epoch: busy + units.Seconds(float64(wait)*0.8),
+		power: avgPower,
+		cap:   m.node.RAPL().LongCap(),
+	}
+
+	// Exchange measurements; this Allgather is also the rendezvous of
+	// the synchronization phase, so the wait of the faster partition
+	// happens here.
+	gathered := m.comm.Allgather(my, 8*4)
+	merged := m.rank.Clock()
+	exchangeCost := m.rank.Cost().CollectiveCost(m.comm.Size(), 8*4*m.comm.Size())
+	m.prevWait = 0
+	if wait := merged - arrival - exchangeCost; wait > 0 {
+		// The faster ranks idle at the synchronization (the troughs of
+		// the paper's Figure 1), drawing idle power.
+		m.node.Idle(wait)
+		m.prevWait = wait
+	}
+	if m.monitor != nil {
+		m.monitor.Poll()
+	}
+
+	// Policy evaluation on the root; everyone receives the caps.
+	var caps []units.Watts
+	if m.rank.WorldRank() == m.opts.Root {
+		nodes := make([]core.NodeMeasure, len(gathered))
+		for i, g := range gathered {
+			mm := g.(measure)
+			nodes[i] = core.NodeMeasure{Role: mm.role, Time: mm.time, BusyTime: mm.busy, EpochTime: mm.epoch, Power: mm.power, Cap: mm.cap}
+		}
+		caps = m.opts.Policy.Allocate(m.syncStep, nodes)
+		if m.log != nil {
+			m.log.Add(m.buildRecord(nodes, exchangeCost))
+		}
+	}
+	res := m.comm.Bcast(m.opts.Root, caps, 8*m.comm.Size())
+	caps, _ = res.([]units.Watts)
+
+	// Apply this node's new cap, if the policy changed it.
+	if caps != nil {
+		myCap := caps[m.rank.WorldRank()]
+		if myCap > 0 && myCap != m.node.RAPL().LongCap() {
+			m.node.RAPL().SetLongCap(myCap)
+			if m.opts.ShortTermCap {
+				m.node.RAPL().SetShortCap(myCap)
+			}
+		}
+	}
+
+	// The allocator's own cost (the collective exchanges above advanced
+	// the virtual clock) is part of the next interval's time, matching
+	// the paper's measurement convention. The next interval is measured
+	// from this arrival so it includes the synchronization wait charged
+	// above.
+	m.overhead += (m.rank.Clock() - merged) + exchangeCost
+	m.lastClock = arrival
+	m.lastEnergy = e + m.lastEnergy // energy at arrival
+}
+
+// buildRecord aggregates per-node measures into the root's SyncRecord.
+func (m *Manager) buildRecord(nodes []core.NodeMeasure, exchangeCost units.Seconds) trace.SyncRecord {
+	rec := trace.SyncRecord{Step: m.syncStep}
+	var nSim, nAna int
+	for _, n := range nodes {
+		switch n.Role {
+		case core.RoleSimulation:
+			nSim++
+			rec.SimPower += n.Power
+			rec.SimCap = n.Cap
+			if n.BusyTime > rec.SimTime {
+				rec.SimTime = n.BusyTime
+			}
+		case core.RoleAnalysis:
+			nAna++
+			rec.AnaPower += n.Power
+			rec.AnaCap = n.Cap
+			if n.BusyTime > rec.AnaTime {
+				rec.AnaTime = n.BusyTime
+			}
+		}
+	}
+	// Report per-node average power, matching the paper's per-node
+	// power plots.
+	if nSim > 0 {
+		rec.SimPower /= units.Watts(nSim)
+	}
+	if nAna > 0 {
+		rec.AnaPower /= units.Watts(nAna)
+	}
+	rec.Overhead = exchangeCost
+	return rec
+}

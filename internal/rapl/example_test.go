@@ -1,0 +1,31 @@
+package rapl_test
+
+import (
+	"fmt"
+
+	"seesaw/internal/rapl"
+)
+
+// A cap write takes effect only after the actuation latency, and a
+// sustained workload is then limited to the cap.
+func ExampleDomain_SetLongCap() {
+	d := rapl.MustNewDomain(rapl.Theta())
+	d.SetLongCap(110)
+	fmt.Printf("before actuation: %v\n", d.SustainedAllowed(180))
+	d.Advance(0.02, 100) // 20 ms pass
+	fmt.Printf("after actuation: %v\n", d.SustainedAllowed(180))
+	// Output:
+	// before actuation: 180.0 W
+	// after actuation: 110.0 W
+}
+
+// The energy register wraps like the hardware MSR; EnergyUnwrapper
+// reconstructs the monotonic count.
+func ExampleEnergyUnwrapper() {
+	d := rapl.MustNewDomain(rapl.Theta())
+	var u rapl.EnergyUnwrapper
+	u.Update(d.EnergyRegister())
+	d.Advance(10, 110) // 1100 J
+	fmt.Println(u.Update(d.EnergyRegister()))
+	// Output: 1100.0 J
+}

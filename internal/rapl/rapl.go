@@ -1,0 +1,306 @@
+// Package rapl simulates Intel's Running Average Power Limit interface as
+// exposed on the Theta Cray XC40 nodes the paper evaluates on (via the
+// msr-safe kernel module). One Domain models the package power domain of
+// a single node.
+//
+// The simulation reproduces the RAPL properties the paper depends on:
+//
+//   - a long-term power cap enforced as a moving average over a 1 s
+//     window (so brief excursions above the cap are allowed while the
+//     window average remains below it);
+//   - an optional short-term cap with a ~9.766 ms window that bounds
+//     instantaneous draw and, when combined with the long cap, causes
+//     RAPL to regulate slightly below the requested limit;
+//   - an actuation latency (~10 ms on Theta) between writing a new cap
+//     and the cap taking effect;
+//   - hardware bounds: caps are clamped to [MinCap, TDP] (98 W and 215 W
+//     on Theta's KNL 7230);
+//   - monotonically increasing energy counters used for power monitoring.
+//
+// Time is virtual: callers advance the domain explicitly with the power
+// actually drawn, exactly as the machine model integrates phase execution.
+package rapl
+
+import (
+	"errors"
+	"fmt"
+
+	"seesaw/internal/units"
+)
+
+// Config describes the hardware characteristics of a RAPL domain.
+type Config struct {
+	// MinCap is the lowest supported power cap (98 W on Theta).
+	MinCap units.Watts
+	// TDP is the thermal design power and highest cap (215 W on Theta).
+	TDP units.Watts
+	// LongWindow is the averaging window of the long-term cap (1 s).
+	LongWindow units.Seconds
+	// ShortWindow is the averaging window of the short-term cap
+	// (9.766 ms on Theta).
+	ShortWindow units.Seconds
+	// ActuationLatency is the delay between a cap write and the cap
+	// taking effect (~10 ms on Theta).
+	ActuationLatency units.Seconds
+	// DualCapMargin is the fraction below the requested limit at which
+	// RAPL regulates when both long- and short-term caps are set; the
+	// paper observes that "RAPL limits the power slightly below the
+	// requested power" in that configuration.
+	DualCapMargin float64
+}
+
+// Theta returns the RAPL configuration of a Theta KNL 7230 node.
+func Theta() Config {
+	return Config{
+		MinCap:           98,
+		TDP:              215,
+		LongWindow:       1.0,
+		ShortWindow:      0.009766,
+		ActuationLatency: 0.010,
+		DualCapMargin:    0.02,
+	}
+}
+
+// ErrCapOutOfRange is returned when a cap request lies outside the
+// hardware-supported range and clamping is disabled.
+var ErrCapOutOfRange = errors.New("rapl: requested cap outside supported range")
+
+// pendingCap is a cap write waiting out the actuation latency.
+type pendingCap struct {
+	value    units.Watts
+	applyAt  units.Seconds
+	shortCap bool
+}
+
+// Domain simulates one RAPL package power domain.
+type Domain struct {
+	cfg Config
+
+	now    units.Seconds
+	energy units.Joules
+
+	longCap  units.Watts // 0 means uncapped
+	shortCap units.Watts // 0 means unset
+
+	pending []pendingCap
+
+	// moving-average window bookkeeping for long-term enforcement.
+	window    []sample
+	windowJ   units.Joules
+	windowLen units.Seconds
+
+	capWrites int
+}
+
+type sample struct {
+	dt units.Seconds
+	p  units.Watts
+}
+
+// NewDomain returns a fresh domain at virtual time 0 with no caps set.
+func NewDomain(cfg Config) (*Domain, error) {
+	if cfg.MinCap <= 0 || cfg.TDP <= cfg.MinCap {
+		return nil, fmt.Errorf("rapl: invalid cap range [%v, %v]", cfg.MinCap, cfg.TDP)
+	}
+	if cfg.LongWindow <= 0 {
+		return nil, fmt.Errorf("rapl: long window must be positive, got %v", cfg.LongWindow)
+	}
+	return &Domain{cfg: cfg}, nil
+}
+
+// MustNewDomain is NewDomain that panics on configuration errors; used
+// when the configuration is a compile-time constant such as Theta().
+func MustNewDomain(cfg Config) *Domain {
+	d, err := NewDomain(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the domain's hardware configuration.
+func (d *Domain) Config() Config { return d.cfg }
+
+// Now returns the domain's current virtual time.
+func (d *Domain) Now() units.Seconds { return d.now }
+
+// Energy returns the cumulative energy counter, analogous to the
+// MSR_PKG_ENERGY_STATUS register.
+func (d *Domain) Energy() units.Joules { return d.energy }
+
+// CapWrites returns how many cap write operations were issued; the
+// experiment harness uses it to account for actuation overhead.
+func (d *Domain) CapWrites() int { return d.capWrites }
+
+// SetLongCap requests a new long-term power cap. The request is clamped
+// to the supported range and takes effect after the actuation latency.
+// A zero cap removes the limit.
+func (d *Domain) SetLongCap(w units.Watts) {
+	d.capWrites++
+	if w != 0 {
+		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
+	}
+	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency})
+}
+
+// SetShortCap requests a new short-term power cap with the same clamping
+// and latency semantics as SetLongCap. A zero cap removes the limit.
+func (d *Domain) SetShortCap(w units.Watts) {
+	d.capWrites++
+	if w != 0 {
+		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
+	}
+	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency, shortCap: true})
+}
+
+// LongCap returns the currently effective long-term cap (0 if uncapped).
+func (d *Domain) LongCap() units.Watts {
+	d.applyPending()
+	return d.longCap
+}
+
+// ShortCap returns the currently effective short-term cap (0 if unset).
+func (d *Domain) ShortCap() units.Watts {
+	d.applyPending()
+	return d.shortCap
+}
+
+// applyPending activates cap writes whose latency has elapsed.
+func (d *Domain) applyPending() {
+	remaining := d.pending[:0]
+	for _, p := range d.pending {
+		if p.applyAt <= d.now {
+			if p.shortCap {
+				d.shortCap = p.value
+			} else {
+				d.longCap = p.value
+			}
+		} else {
+			remaining = append(remaining, p)
+		}
+	}
+	d.pending = remaining
+}
+
+// windowAvg returns the average power over the long-term window.
+func (d *Domain) windowAvg() units.Watts {
+	if d.windowLen <= 0 {
+		return 0
+	}
+	return units.AvgPower(d.windowJ, d.windowLen)
+}
+
+// Allowed returns the power the domain permits a workload demanding
+// demand Watts to draw at the current instant. Enforcement model:
+//
+//   - with no caps, draw is bounded only by min(demand, TDP);
+//   - with a long cap, draw above the cap is permitted while the
+//     window average remains below the cap (transient headroom), and
+//     limited to the cap once the window is saturated;
+//   - a short cap bounds instantaneous draw directly;
+//   - with both caps set, regulation targets cap*(1-DualCapMargin).
+func (d *Domain) Allowed(demand units.Watts) units.Watts {
+	d.applyPending()
+	allowed := demand
+	if allowed > d.cfg.TDP {
+		allowed = d.cfg.TDP
+	}
+	if d.longCap > 0 {
+		target := d.longCap
+		if d.shortCap > 0 {
+			target = units.Watts(float64(target) * (1 - d.cfg.DualCapMargin))
+		}
+		if d.windowAvg() >= target {
+			// Window saturated: regulate to the target.
+			if allowed > target {
+				allowed = target
+			}
+		} else {
+			// Transient headroom: permit short excursions bounded by
+			// the short cap (or TDP if none).
+			limit := d.cfg.TDP
+			if d.shortCap > 0 {
+				limit = units.Watts(float64(d.shortCap) * (1 - d.cfg.DualCapMargin))
+			}
+			if allowed > limit {
+				allowed = limit
+			}
+		}
+	} else if d.shortCap > 0 {
+		if allowed > d.shortCap {
+			allowed = d.shortCap
+		}
+	}
+	if allowed < 0 {
+		allowed = 0
+	}
+	return allowed
+}
+
+// SustainedAllowed returns the power a workload demanding demand Watts
+// may draw when executing for much longer than the enforcement windows:
+// the transient headroom of the moving average is irrelevant at that
+// horizon, so caps apply directly (with the dual-cap margin). The
+// machine model uses this for phase execution; Allowed models the
+// instantaneous (window-dependent) behaviour.
+func (d *Domain) SustainedAllowed(demand units.Watts) units.Watts {
+	d.applyPending()
+	allowed := demand
+	if allowed > d.cfg.TDP {
+		allowed = d.cfg.TDP
+	}
+	if d.longCap > 0 {
+		target := d.longCap
+		if d.shortCap > 0 {
+			target = units.Watts(float64(target) * (1 - d.cfg.DualCapMargin))
+		}
+		if allowed > target {
+			allowed = target
+		}
+	}
+	if d.shortCap > 0 && allowed > d.shortCap {
+		allowed = d.shortCap
+	}
+	if allowed < 0 {
+		allowed = 0
+	}
+	return allowed
+}
+
+// Advance moves virtual time forward by dt with the domain drawing p
+// Watts throughout, updating the energy counter and the enforcement
+// window. dt must be non-negative.
+func (d *Domain) Advance(dt units.Seconds, p units.Watts) {
+	if dt < 0 {
+		panic("rapl: negative time advance")
+	}
+	if dt == 0 {
+		return
+	}
+	d.now += dt
+	d.applyPending()
+	d.energy += units.Energy(p, dt)
+
+	// Fold the sample into the moving-average window and trim it back
+	// to LongWindow seconds.
+	d.window = append(d.window, sample{dt: dt, p: p})
+	d.windowJ += units.Energy(p, dt)
+	d.windowLen += dt
+	for d.windowLen > d.cfg.LongWindow && len(d.window) > 0 {
+		head := d.window[0]
+		excess := d.windowLen - d.cfg.LongWindow
+		if head.dt <= excess {
+			d.window = d.window[1:]
+			d.windowLen -= head.dt
+			d.windowJ -= units.Energy(head.p, head.dt)
+		} else {
+			d.window[0].dt -= excess
+			d.windowLen -= excess
+			d.windowJ -= units.Energy(head.p, excess)
+		}
+	}
+}
+
+// WindowAverage exposes the long-window average power, mainly for tests
+// and monitoring.
+func (d *Domain) WindowAverage() units.Watts { return d.windowAvg() }

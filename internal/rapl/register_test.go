@@ -1,0 +1,90 @@
+package rapl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seesaw/internal/units"
+)
+
+func TestEnergyRegisterTracksEnergy(t *testing.T) {
+	d := MustNewDomain(Theta())
+	d.Advance(1, 100) // 100 J
+	reg := d.EnergyRegister()
+	wantCounts := uint32(100 / EnergyUnit)
+	if reg != wantCounts {
+		t.Errorf("register = %d counts, want %d", reg, wantCounts)
+	}
+}
+
+func TestEnergyRegisterWraps(t *testing.T) {
+	d := MustNewDomain(Theta())
+	// Push the counter past the 32-bit boundary: 2^32 counts of 61 uJ
+	// ~ 262 kJ; at 200 W that's ~1311 s.
+	wrapJoules := float64(uint64(1)<<32) * EnergyUnit
+	seconds := units.Seconds(wrapJoules/200) + 10
+	d.Advance(seconds, 200)
+	if float64(d.Energy()) <= wrapJoules {
+		t.Fatal("test setup: energy did not exceed the wrap point")
+	}
+	// The register must have wrapped (be far below the raw count).
+	raw := uint64(float64(d.Energy()) / EnergyUnit)
+	if uint64(d.EnergyRegister()) == raw {
+		t.Error("register did not wrap at 32 bits")
+	}
+}
+
+func TestEnergyUnwrapper(t *testing.T) {
+	d := MustNewDomain(Theta())
+	var u EnergyUnwrapper
+	u.Update(d.EnergyRegister())
+
+	// Advance in chunks that cross the wrap boundary and verify the
+	// unwrapped total tracks the true energy within one unit per read.
+	var reads int
+	for i := 0; i < 2000; i++ {
+		d.Advance(1, 180)
+		u.Update(d.EnergyRegister())
+		reads++
+	}
+	got := float64(u.Total())
+	want := float64(d.Energy())
+	if diff := got - want; diff > EnergyUnit*float64(reads)+1 || diff < -(EnergyUnit*float64(reads)+1) {
+		t.Errorf("unwrapped %v vs true %v (diff %v)", got, want, diff)
+	}
+	if want < float64(uint64(1)<<32)*EnergyUnit {
+		t.Fatal("test did not cross the wrap boundary")
+	}
+}
+
+func TestEnergyUnwrapperFirstRead(t *testing.T) {
+	var u EnergyUnwrapper
+	if got := u.Update(12345); got != 0 {
+		t.Errorf("first read should establish the baseline, got %v", got)
+	}
+	if got := u.Update(12345 + 1000); float64(got) != 1000*EnergyUnit {
+		t.Errorf("delta = %v, want %v", got, 1000*EnergyUnit)
+	}
+}
+
+func TestEnergyUnwrapperProperty(t *testing.T) {
+	// Any sequence of non-negative power draws produces a monotonically
+	// non-decreasing unwrapped total.
+	f := func(draws []uint8) bool {
+		d := MustNewDomain(Theta())
+		var u EnergyUnwrapper
+		prev := u.Update(d.EnergyRegister())
+		for _, p := range draws {
+			d.Advance(0.5, units.Watts(p))
+			cur := u.Update(d.EnergyRegister())
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

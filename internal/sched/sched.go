@@ -1,0 +1,252 @@
+// Package sched implements the paper's final future-work item:
+// integrating SeeSAw with job schedulers and system-wide power
+// management (Section VIII). It simulates a machine partition running
+// several space-shared in-situ jobs concurrently under one
+// machine-level power budget, with a two-level hierarchy:
+//
+//   - the system level divides the machine budget between jobs using
+//     the same energy-proportional rule SeeSAw applies within a job
+//     (each job's share follows its energy appetite), re-evaluated at a
+//     fixed number of scheduler epochs;
+//   - within each job, any core.Policy (typically SeeSAw) divides the
+//     job's budget between its simulation and analysis partitions at
+//     every synchronization, exactly as in package cosim.
+//
+// The baseline divides the machine budget between jobs proportionally
+// to node count and never moves it.
+package sched
+
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// JobSpec describes one job in the machine partition.
+type JobSpec struct {
+	// Name identifies the job in results.
+	Name string
+	// Workload is the job's in-situ workload.
+	Workload workload.Spec
+	// PolicyName selects the intra-job allocator ("static", "seesaw",
+	// "power-aware", "time-aware").
+	PolicyName string
+	// Window is the intra-job w.
+	Window int
+}
+
+// Config describes the machine partition.
+type Config struct {
+	// Jobs are the concurrent in-situ jobs.
+	Jobs []JobSpec
+	// MachineBudget is the total power available to all jobs.
+	MachineBudget units.Watts
+	// MinCap and MaxCap bound per-node caps everywhere.
+	MinCap, MaxCap units.Watts
+	// Epochs is how many times the system level re-divides the machine
+	// budget over the course of the workload (>= 1; 1 = static system
+	// level).
+	Epochs int
+	// SystemAware enables the energy-proportional system level; false
+	// keeps the node-proportional static division.
+	SystemAware bool
+	// Seed drives all noise.
+	Seed uint64
+	// Noise is the node noise model.
+	Noise machine.NoiseModel
+}
+
+// JobResult reports one job's outcome.
+type JobResult struct {
+	Name string
+	// Time is the job's total runtime under its final budget sequence.
+	Time units.Seconds
+	// Energy is the job's total energy.
+	Energy units.Joules
+	// Budget is the job's final budget.
+	Budget units.Watts
+}
+
+// Result is the machine-level outcome.
+type Result struct {
+	Jobs []JobResult
+	// Makespan is the slowest job's runtime — the machine-level
+	// objective, mirroring SeeSAw's min-max objective one level up.
+	Makespan units.Seconds
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("sched: at least one job required")
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("sched: epochs must be >= 1, got %d", c.Epochs)
+	}
+	var nodes int
+	for i, j := range c.Jobs {
+		if err := j.Workload.Validate(); err != nil {
+			return fmt.Errorf("sched: job %d (%s): %w", i, j.Name, err)
+		}
+		nodes += j.Workload.SimNodes + j.Workload.AnaNodes
+	}
+	if c.MachineBudget < c.MinCap*units.Watts(nodes) {
+		return fmt.Errorf("sched: machine budget %v below minimum %v for %d nodes",
+			c.MachineBudget, c.MinCap*units.Watts(nodes), nodes)
+	}
+	return nil
+}
+
+// jobNodes returns a job's node count.
+func jobNodes(j JobSpec) int { return j.Workload.SimNodes + j.Workload.AnaNodes }
+
+// Run executes the machine partition: each epoch, every job runs a slice
+// of its workload under its current budget; between epochs the system
+// level re-divides the machine budget by each job's measured energy
+// share (when SystemAware).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	nJobs := len(cfg.Jobs)
+	totalNodes := 0
+	for _, j := range cfg.Jobs {
+		totalNodes += jobNodes(j)
+	}
+
+	// Initial division: proportional to node count (every node gets the
+	// same per-node budget — the natural scheduler default).
+	budgets := make([]units.Watts, nJobs)
+	for i, j := range cfg.Jobs {
+		budgets[i] = cfg.MachineBudget * units.Watts(jobNodes(j)) / units.Watts(totalNodes)
+	}
+
+	// Slice each job's steps across the epochs.
+	res := &Result{Jobs: make([]JobResult, nJobs)}
+	type jobState struct {
+		stepsDone int
+		time      units.Seconds
+		energy    units.Joules
+	}
+	states := make([]jobState, nJobs)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochEnergy := make([]units.Joules, nJobs)
+		epochTime := make([]units.Seconds, nJobs)
+
+		for i, j := range cfg.Jobs {
+			total := j.Workload.Steps
+			chunk := total / cfg.Epochs
+			if epoch == cfg.Epochs-1 {
+				chunk = total - states[i].stepsDone
+			}
+			if chunk <= 0 {
+				continue
+			}
+			spec := j.Workload
+			spec.Steps = chunk
+			if epoch > 0 {
+				// Only the first slice carries the startup transient.
+				spec.NoSetupTransient = true
+			}
+			cons := core.Constraints{Budget: budgets[i], MinCap: cfg.MinCap, MaxCap: cfg.MaxCap}
+			pol, err := newPolicy(j.PolicyName, cons, j.Window)
+			if err != nil {
+				return nil, err
+			}
+			out, err := cosim.Run(cosim.Config{
+				Spec:        spec,
+				Policy:      pol,
+				Constraints: cons,
+				CapMode:     cosim.CapLong,
+				Seed:        cfg.Seed + uint64(i)*101,
+				RunSeed:     cfg.Seed + uint64(i)*101 + uint64(epoch) + 1,
+				Noise:       cfg.Noise,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sched: job %s epoch %d: %w", j.Name, epoch, err)
+			}
+			states[i].stepsDone += chunk
+			states[i].time += out.TotalTime
+			states[i].energy += out.TotalEnergy
+			epochEnergy[i] = out.TotalEnergy
+			epochTime[i] = out.TotalTime
+		}
+
+		// System-level re-division by energy share — SeeSAw's rule one
+		// level up: a job's budget fraction follows its energy fraction.
+		if cfg.SystemAware && epoch < cfg.Epochs-1 {
+			var totalRate float64
+			rates := make([]float64, nJobs)
+			for i := range cfg.Jobs {
+				if epochTime[i] > 0 {
+					rates[i] = float64(epochEnergy[i]) / float64(epochTime[i]) // avg power appetite
+				}
+				totalRate += rates[i]
+			}
+			if totalRate > 0 {
+				for i, j := range cfg.Jobs {
+					share := units.Watts(float64(cfg.MachineBudget) * rates[i] / totalRate)
+					// Clamp so every node keeps at least MinCap and at
+					// most MaxCap.
+					n := units.Watts(jobNodes(j))
+					share = units.ClampWatts(share, cfg.MinCap*n, cfg.MaxCap*n)
+					budgets[i] = share
+				}
+				rebalanceToMachineBudget(budgets, cfg)
+			}
+		}
+	}
+
+	for i, j := range cfg.Jobs {
+		res.Jobs[i] = JobResult{Name: j.Name, Time: states[i].time, Energy: states[i].energy, Budget: budgets[i]}
+		if states[i].time > res.Makespan {
+			res.Makespan = states[i].time
+		}
+	}
+	return res, nil
+}
+
+// rebalanceToMachineBudget scales budgets so they sum to the machine
+// budget while respecting per-job node minimums.
+func rebalanceToMachineBudget(budgets []units.Watts, cfg Config) {
+	var sum units.Watts
+	for _, b := range budgets {
+		sum += b
+	}
+	if sum <= 0 {
+		return
+	}
+	scale := float64(cfg.MachineBudget) / float64(sum)
+	for i, j := range cfg.Jobs {
+		n := units.Watts(jobNodes(j))
+		budgets[i] = units.ClampWatts(units.Watts(float64(budgets[i])*scale), cfg.MinCap*n, cfg.MaxCap*n)
+	}
+}
+
+// newPolicy mirrors bench.NewPolicy without importing bench (sched sits
+// below the experiment layer).
+func newPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
+	if w < 1 {
+		w = 1
+	}
+	switch name {
+	case "", "static":
+		return core.NewStatic(), nil
+	case "seesaw":
+		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
+	case "power-aware":
+		cfg := core.DefaultPowerAwareConfig(cons)
+		cfg.Window = w
+		return core.NewPowerAware(cfg)
+	case "time-aware":
+		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// twoJobs returns a machine partition with one compute-hungry job (big
+// dim) and one light job.
+func twoJobs(steps int) Config {
+	return Config{
+		Jobs: []JobSpec{
+			{Name: "hungry", PolicyName: "seesaw", Window: 1, Workload: workload.Spec{
+				SimNodes: 8, AnaNodes: 8, Dim: 36, J: 1, Steps: steps,
+				Analyses: workload.Tasks("vacf"),
+			}},
+			{Name: "light", PolicyName: "seesaw", Window: 1, Workload: workload.Spec{
+				SimNodes: 8, AnaNodes: 8, Dim: 16, J: 1, Steps: steps,
+				Analyses: workload.Tasks("msd1d"),
+			}},
+		},
+		MachineBudget: 110 * 32,
+		MinCap:        98,
+		MaxCap:        215,
+		Epochs:        4,
+		Seed:          3,
+		Noise:         machine.DefaultNoise(),
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Error("empty config should fail")
+	}
+	bad := twoJobs(20)
+	bad.Epochs = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero epochs should fail")
+	}
+	bad = twoJobs(20)
+	bad.MachineBudget = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("infeasible machine budget should fail")
+	}
+	bad = twoJobs(20)
+	bad.Jobs[0].Workload.Steps = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid job workload should fail")
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	res, err := Run(twoJobs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Time <= 0 || j.Energy <= 0 || j.Budget <= 0 {
+			t.Errorf("job %s has degenerate result %+v", j.Name, j)
+		}
+	}
+	if res.Makespan < res.Jobs[0].Time || res.Makespan < res.Jobs[1].Time {
+		t.Error("makespan below a job's runtime")
+	}
+}
+
+func TestSystemAwareShiftsBudgetToHungryJob(t *testing.T) {
+	cfg := twoJobs(60)
+	cfg.SystemAware = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hungry, light := res.Jobs[0], res.Jobs[1]
+	// Equal node counts start with equal budgets; the energy-aware
+	// system level must hand the compute-hungry dim=36 job more.
+	if hungry.Budget <= light.Budget {
+		t.Errorf("hungry job budget %v not above light job %v", hungry.Budget, light.Budget)
+	}
+	// Per-node bounds hold.
+	perNode := float64(hungry.Budget) / 16
+	if perNode < 98 || perNode > 215 {
+		t.Errorf("hungry per-node budget %v out of range", perNode)
+	}
+}
+
+func TestSystemAwareImprovesHungryJob(t *testing.T) {
+	static := twoJobs(60)
+	aware := twoJobs(60)
+	aware.SystemAware = true
+	rs, err := Run(static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(aware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hungry job must get faster when the system level feeds it.
+	if ra.Jobs[0].Time >= rs.Jobs[0].Time {
+		t.Errorf("hungry job did not benefit: %v vs %v", ra.Jobs[0].Time, rs.Jobs[0].Time)
+	}
+}
+
+func TestMachineBudgetRespected(t *testing.T) {
+	cfg := twoJobs(40)
+	cfg.SystemAware = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total units.Watts
+	for _, j := range res.Jobs {
+		total += j.Budget
+	}
+	if float64(total) > float64(cfg.MachineBudget)*1.001 {
+		t.Errorf("job budgets %v exceed machine budget %v", total, cfg.MachineBudget)
+	}
+}
+
+func TestUnknownPolicyRejected(t *testing.T) {
+	cfg := twoJobs(20)
+	cfg.Jobs[0].PolicyName = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown intra-job policy should fail")
+	}
+}
+
+func TestSingleEpochIsStaticSystemLevel(t *testing.T) {
+	cfg := twoJobs(40)
+	cfg.Epochs = 1
+	cfg.SystemAware = true // cannot act with a single epoch
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Budget != res.Jobs[1].Budget {
+		t.Errorf("single-epoch budgets diverged: %v vs %v", res.Jobs[0].Budget, res.Jobs[1].Budget)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(twoJobs(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(twoJobs(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("same config diverged: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestAllIntraJobPolicies(t *testing.T) {
+	for _, name := range []string{"static", "seesaw", "power-aware", "time-aware", ""} {
+		cfg := twoJobs(20)
+		cfg.Jobs[0].PolicyName = name
+		if _, err := Run(cfg); err != nil {
+			t.Errorf("policy %q: %v", name, err)
+		}
+	}
+}
+
+func TestMakespanIsMaxJobTime(t *testing.T) {
+	res, err := Run(twoJobs(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := res.Jobs[0].Time
+	if res.Jobs[1].Time > max {
+		max = res.Jobs[1].Time
+	}
+	if res.Makespan != max {
+		t.Errorf("makespan %v != max job time %v", res.Makespan, max)
+	}
+}

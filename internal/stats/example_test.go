@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"seesaw/internal/stats"
+)
+
+func ExampleVariabilityPct() {
+	// Table I's metric: the spread of repeated runtimes relative to
+	// their mean.
+	runs := []float64{99, 100, 101}
+	fmt.Printf("%.1f%%\n", stats.VariabilityPct(runs))
+	// Output: 2.0%
+}
+
+func ExampleRollingWindow() {
+	// SeeSAw's w-step measurement window.
+	w := stats.NewRollingWindow(3)
+	for _, t := range []float64{4.0, 4.2, 4.4, 4.6} {
+		w.Add(t)
+	}
+	fmt.Printf("%.1f\n", w.Mean()) // the oldest sample was evicted
+	// Output: 4.4
+}
+
+func ExampleBlend() {
+	// One EWMA step with an explicit weight, as SeeSAw's Eq. 3-4 uses.
+	fmt.Println(stats.Blend(120, 100, 0.25))
+	// Output: 105
+}

@@ -1,0 +1,299 @@
+// Package trace records time-series and per-synchronization data from
+// simulated in-situ jobs, and renders them as CSV or aligned text tables.
+// Every figure in the paper is regenerated from these records.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"seesaw/internal/units"
+)
+
+// Sample is one point of a power/time series.
+type Sample struct {
+	// Time is the virtual timestamp of the sample.
+	Time units.Seconds
+	// Value is the sampled quantity (power in Watts for power traces).
+	Value float64
+}
+
+// Series is a named, time-ordered sequence of samples.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends a sample.
+func (s *Series) Add(t units.Seconds, v float64) {
+	s.Samples = append(s.Samples, Sample{Time: t, Value: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Values returns the sample values in order.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Samples))
+	for i, smp := range s.Samples {
+		vs[i] = smp.Value
+	}
+	return vs
+}
+
+// Recorder aggregates named series, e.g. one power trace per node or per
+// partition.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Series returns the named series, creating it on first use.
+func (r *Recorder) Series(name string) *Series {
+	if s, ok := r.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
+
+// WriteCSV emits all series as long-format CSV: series,time,value.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,time_s,value"); err != nil {
+		return err
+	}
+	for _, name := range r.order {
+		for _, smp := range r.series[name].Samples {
+			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f\n", name, float64(smp.Time), smp.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SyncRecord captures the observables of one simulation/analysis
+// synchronization interval — the unit at which every policy in the paper
+// acts.
+type SyncRecord struct {
+	// Step is the synchronization index (1-based; step 0 is outside the
+	// main loop and ignored, as in the paper's Section VII-B1).
+	Step int
+	// SimTime and AnaTime are the interval durations of the slowest
+	// simulation and analysis ranks.
+	SimTime, AnaTime units.Seconds
+	// SimPower and AnaPower are measured average powers per node of
+	// each partition over the interval.
+	SimPower, AnaPower units.Watts
+	// SimCap and AnaCap are the per-node power caps in force during the
+	// interval.
+	SimCap, AnaCap units.Watts
+	// Overhead is the time spent inside the power-allocation call at
+	// the end of the interval.
+	Overhead units.Seconds
+}
+
+// IntervalTime returns the wall time of the interval: the slower of the
+// two partitions.
+func (s SyncRecord) IntervalTime() units.Seconds {
+	if s.SimTime > s.AnaTime {
+		return s.SimTime
+	}
+	return s.AnaTime
+}
+
+// Slack returns the normalized slack time of the interval — the paper's
+// black curves in Figures 4 and 5: |T_S - T_A| divided by the interval
+// time. Returns 0 for an empty interval.
+func (s SyncRecord) Slack() float64 {
+	total := float64(s.IntervalTime())
+	if total <= 0 {
+		return 0
+	}
+	d := float64(s.SimTime - s.AnaTime)
+	if d < 0 {
+		d = -d
+	}
+	return d / total
+}
+
+// SyncLog is the ordered list of synchronization records of one run.
+type SyncLog struct {
+	Records []SyncRecord
+}
+
+// Add appends a record.
+func (l *SyncLog) Add(r SyncRecord) { l.Records = append(l.Records, r) }
+
+// Len returns the number of records.
+func (l *SyncLog) Len() int { return len(l.Records) }
+
+// TotalTime sums the interval times (the job's main-loop runtime).
+func (l *SyncLog) TotalTime() units.Seconds {
+	var t units.Seconds
+	for _, r := range l.Records {
+		t += r.IntervalTime()
+	}
+	return t
+}
+
+// MeanSlackFrom returns the mean normalized slack over records with
+// Step >= from; the paper reports slack averages "calculated from the
+// 10th step" to skip setup transients.
+func (l *SyncLog) MeanSlackFrom(from int) float64 {
+	var sum float64
+	var n int
+	for _, r := range l.Records {
+		if r.Step >= from {
+			sum += r.Slack()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// WriteCSV emits the log as CSV with one row per synchronization.
+func (l *SyncLog) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,sim_time_s,ana_time_s,sim_power_w,ana_power_w,sim_cap_w,ana_cap_w,slack,overhead_s"); err != nil {
+		return err
+	}
+	for _, r := range l.Records {
+		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%.3f,%.3f,%.3f,%.3f,%.5f,%.6f\n",
+			r.Step, float64(r.SimTime), float64(r.AnaTime),
+			float64(r.SimPower), float64(r.AnaPower),
+			float64(r.SimCap), float64(r.AnaCap), r.Slack(), float64(r.Overhead)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table renders aligned text tables for experiment output, mimicking the
+// row/column structure of the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case units.Seconds:
+			row[i] = fmt.Sprintf("%.3f", float64(v))
+		case units.Watts:
+			row[i] = fmt.Sprintf("%.1f", float64(v))
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Headers)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// SortSeriesNames returns series names sorted lexicographically; handy
+// for deterministic test output when iterating a recorder built from
+// concurrent writers.
+func SortSeriesNames(r *Recorder) []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored markdown table.
+func (t *Table) RenderMarkdown(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "**%s**\n\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | ")); err != nil {
+		return err
+	}
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "|%s|\n", strings.Join(seps, "|")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"seesaw/internal/units"
+)
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 100)
+	s.Add(1, 110)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	vs := s.Values()
+	if vs[0] != 100 || vs[1] != 110 {
+		t.Errorf("Values = %v", vs)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.Series("b").Add(0, 1)
+	r.Series("a").Add(0, 2)
+	r.Series("b").Add(1, 3)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "b" || names[1] != "a" {
+		t.Errorf("Names = %v (creation order expected)", names)
+	}
+	sorted := SortSeriesNames(r)
+	if sorted[0] != "a" || sorted[1] != "b" {
+		t.Errorf("sorted = %v", sorted)
+	}
+	if r.Series("b").Len() != 2 {
+		t.Error("series b should accumulate")
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Series("sim").Add(0.5, 110.25)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,time_s,value\n") {
+		t.Errorf("missing CSV header: %q", out)
+	}
+	if !strings.Contains(out, "sim,0.500000,110.250000") {
+		t.Errorf("missing data row: %q", out)
+	}
+}
+
+func TestSyncRecordSlack(t *testing.T) {
+	r := SyncRecord{SimTime: 4, AnaTime: 5}
+	if r.IntervalTime() != 5 {
+		t.Errorf("IntervalTime = %v", r.IntervalTime())
+	}
+	if got := r.Slack(); got != 0.2 {
+		t.Errorf("Slack = %v, want 0.2", got)
+	}
+	// Symmetric.
+	r2 := SyncRecord{SimTime: 5, AnaTime: 4}
+	if r2.Slack() != 0.2 {
+		t.Errorf("Slack not symmetric: %v", r2.Slack())
+	}
+	empty := SyncRecord{}
+	if empty.Slack() != 0 {
+		t.Error("empty record slack should be 0")
+	}
+}
+
+func TestSyncLog(t *testing.T) {
+	var l SyncLog
+	l.Add(SyncRecord{Step: 1, SimTime: 4, AnaTime: 4})
+	l.Add(SyncRecord{Step: 2, SimTime: 3, AnaTime: 6})
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+	if got := l.TotalTime(); got != 10 {
+		t.Errorf("TotalTime = %v, want 10", got)
+	}
+}
+
+func TestMeanSlackFrom(t *testing.T) {
+	var l SyncLog
+	l.Add(SyncRecord{Step: 1, SimTime: 1, AnaTime: 2})   // slack 0.5, excluded
+	l.Add(SyncRecord{Step: 10, SimTime: 4, AnaTime: 5})  // slack 0.2
+	l.Add(SyncRecord{Step: 11, SimTime: 5, AnaTime: 10}) // slack 0.5
+	got := l.MeanSlackFrom(10)
+	if !units.NearlyEqual(got, 0.35, 1e-12) {
+		t.Errorf("MeanSlackFrom = %v, want 0.35", got)
+	}
+	if l.MeanSlackFrom(100) != 0 {
+		t.Error("no records in range should give 0")
+	}
+}
+
+func TestSyncLogCSV(t *testing.T) {
+	var l SyncLog
+	l.Add(SyncRecord{Step: 1, SimTime: 4, AnaTime: 5, SimPower: 106, AnaPower: 110, SimCap: 108, AnaCap: 112})
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "step,sim_time_s") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "1,4.000000,5.000000,106.000,110.000,108.000,112.000") {
+		t.Errorf("missing row: %q", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Title", "col1", "column-two")
+	tbl.AddRow("a", 1.23456)
+	tbl.AddRow("longer-cell", units.Watts(110))
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "col1") || !strings.Contains(out, "column-two") {
+		t.Error("missing headers")
+	}
+	if !strings.Contains(out, "1.23") {
+		t.Error("float formatting wrong")
+	}
+	if !strings.Contains(out, "110.0") {
+		t.Error("Watts formatting wrong")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableFormatsSeconds(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(units.Seconds(1.23456))
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1.235") {
+		t.Errorf("Seconds formatting wrong: %q", sb.String())
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	tbl := NewTable("T", "a", "b")
+	tbl.AddRow(1, 2.5)
+	var sb strings.Builder
+	if err := tbl.RenderMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"**T**", "| a | b |", "|---|---|", "| 1 | 2.50 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

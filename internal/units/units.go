@@ -1,0 +1,60 @@
+// Package units provides strongly typed physical quantities used across
+// the SeeSAw power-management stack: power (Watts), energy (Joules) and
+// simulated time (Seconds).
+//
+// All simulation code uses virtual time expressed in seconds as float64;
+// the Seconds type exists to keep signatures self-documenting without the
+// overhead of time.Duration conversions in hot loops.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Watts is electrical power in Watts.
+type Watts float64
+
+// Joules is energy in Joules.
+type Joules float64
+
+// Seconds is a span of simulated (virtual) time in seconds.
+type Seconds float64
+
+// String formats the power with a W suffix, e.g. "110.0 W".
+func (w Watts) String() string { return fmt.Sprintf("%.1f W", float64(w)) }
+
+// String formats the energy with a J suffix, e.g. "12.3 J".
+func (j Joules) String() string { return fmt.Sprintf("%.1f J", float64(j)) }
+
+// String formats the duration with an s suffix, e.g. "4.00 s".
+func (s Seconds) String() string { return fmt.Sprintf("%.3f s", float64(s)) }
+
+// Energy returns the energy consumed by drawing power w for duration d.
+func Energy(w Watts, d Seconds) Joules { return Joules(float64(w) * float64(d)) }
+
+// AvgPower returns the average power corresponding to energy j spent over
+// duration d. It returns 0 for non-positive durations.
+func AvgPower(j Joules, d Seconds) Watts {
+	if d <= 0 {
+		return 0
+	}
+	return Watts(float64(j) / float64(d))
+}
+
+// ClampWatts limits w to the inclusive range [lo, hi].
+func ClampWatts(w, lo, hi Watts) Watts {
+	if w < lo {
+		return lo
+	}
+	if w > hi {
+		return hi
+	}
+	return w
+}
+
+// IsFinite reports whether the value is neither NaN nor infinite.
+func IsFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// NearlyEqual reports whether a and b differ by no more than tol.
+func NearlyEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

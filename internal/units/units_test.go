@@ -1,0 +1,109 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEnergy(t *testing.T) {
+	cases := []struct {
+		p    Watts
+		d    Seconds
+		want Joules
+	}{
+		{100, 10, 1000},
+		{0, 10, 0},
+		{110, 0, 0},
+		{215, 1, 215},
+	}
+	for _, c := range cases {
+		if got := Energy(c.p, c.d); got != c.want {
+			t.Errorf("Energy(%v, %v) = %v, want %v", c.p, c.d, got, c.want)
+		}
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	if got := AvgPower(1000, 10); got != 100 {
+		t.Errorf("AvgPower(1000, 10) = %v, want 100", got)
+	}
+	if got := AvgPower(1000, 0); got != 0 {
+		t.Errorf("AvgPower with zero duration = %v, want 0", got)
+	}
+	if got := AvgPower(1000, -5); got != 0 {
+		t.Errorf("AvgPower with negative duration = %v, want 0", got)
+	}
+}
+
+func TestEnergyAvgPowerRoundTrip(t *testing.T) {
+	f := func(p, d float64) bool {
+		pw := Watts(math.Abs(math.Mod(p, 1000)))
+		du := Seconds(math.Abs(math.Mod(d, 1000)) + 0.001)
+		back := AvgPower(Energy(pw, du), du)
+		return NearlyEqual(float64(back), float64(pw), 1e-9*math.Max(1, float64(pw)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampWatts(t *testing.T) {
+	cases := []struct {
+		w, lo, hi, want Watts
+	}{
+		{50, 98, 215, 98},
+		{300, 98, 215, 215},
+		{110, 98, 215, 110},
+		{98, 98, 215, 98},
+		{215, 98, 215, 215},
+	}
+	for _, c := range cases {
+		if got := ClampWatts(c.w, c.lo, c.hi); got != c.want {
+			t.Errorf("ClampWatts(%v, %v, %v) = %v, want %v", c.w, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampWattsProperty(t *testing.T) {
+	f := func(w float64) bool {
+		got := ClampWatts(Watts(w), 98, 215)
+		return got >= 98 && got <= 215
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1.5) {
+		t.Error("IsFinite(1.5) = false")
+	}
+	if IsFinite(math.NaN()) {
+		t.Error("IsFinite(NaN) = true")
+	}
+	if IsFinite(math.Inf(1)) || IsFinite(math.Inf(-1)) {
+		t.Error("IsFinite(Inf) = true")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if s := Watts(110).String(); s != "110.0 W" {
+		t.Errorf("Watts.String() = %q", s)
+	}
+	if s := Joules(12.34).String(); s != "12.3 J" {
+		t.Errorf("Joules.String() = %q", s)
+	}
+	if s := Seconds(4).String(); s != "4.000 s" {
+		t.Errorf("Seconds.String() = %q", s)
+	}
+}
+
+func TestNearlyEqual(t *testing.T) {
+	if !NearlyEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("NearlyEqual false for near values")
+	}
+	if NearlyEqual(1.0, 1.1, 1e-3) {
+		t.Error("NearlyEqual true for distant values")
+	}
+}
