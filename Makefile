@@ -1,0 +1,35 @@
+# Tier-1 gate: everything `make check` runs must stay green.
+GO ?= go
+
+.PHONY: all build check fmt vet test race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# check is the tier-1 gate: formatting, vet, and the full suite under
+# the race detector (the telemetry hub and the insitu driver are
+# concurrent by design).
+check: fmt vet race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

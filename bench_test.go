@@ -16,6 +16,7 @@ import (
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
 	"seesaw/internal/rapl"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
@@ -116,6 +117,34 @@ func BenchmarkCosim128Nodes(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchmarkCosimTelemetry runs the 128-node cell with the given hub.
+// The Off/On pair quantifies the observability tax: Off measures the
+// disabled hooks (one nil pointer comparison each, zero allocations —
+// see internal/telemetry's TestDisabledHooksDoNotAllocate), and must
+// stay within the noise floor (< 2%) of BenchmarkCosim128Nodes; On
+// prices full metric and event collection.
+func benchmarkCosimTelemetry(b *testing.B, hub *telemetry.Hub) {
+	b.Helper()
+	spec := workload.Spec{SimNodes: 64, AnaNodes: 64, Dim: 16, J: 1, Steps: 50,
+		Analyses: workload.Tasks("msd")}
+	cons := core.Constraints{Budget: 110 * 128, MinCap: 98, MaxCap: 215}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1})
+		if _, err := cosim.Run(cosim.Config{Spec: spec, Policy: ss, Constraints: cons,
+			CapMode: cosim.CapLong, Seed: uint64(i), Noise: machine.DefaultNoise(),
+			Telemetry: hub}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCosimTelemetryOff(b *testing.B) { benchmarkCosimTelemetry(b, nil) }
+
+func BenchmarkCosimTelemetryOn(b *testing.B) {
+	benchmarkCosimTelemetry(b, telemetry.New(telemetry.Options{}))
 }
 
 func BenchmarkLammpsStep(b *testing.B) {

@@ -8,17 +8,21 @@
 //	seesawctl all [flags]          # run every experiment in paper order
 //	seesawctl trace [flags]        # per-synchronization CSV of one policy cell
 //	seesawctl job <file.json>      # run a JSON-described job (see internal/jobfile)
+//	seesawctl serve [flags]        # run an experiment loop and serve live metrics over HTTP
 //
 // Flags:
 //
-//	-steps N   override Verlet steps per run (default 400, the paper's setting)
-//	-runs N    override repeated jobs per cell (default: 3, Table I: 7)
-//	-seed N    base seed for all jobs
+//	-steps N          override Verlet steps per run (default 400, the paper's setting)
+//	-runs N           override repeated jobs per cell (default: 3, Table I: 7)
+//	-seed N           base seed for all jobs
+//	-telemetry FILE   stream telemetry events to FILE as JSON Lines
 //
 // trace flags: -policy, -analyses, -nodes, -dim, -j, -w (see -h).
+// serve flags: -addr, -id, plus the shared flags above (see -h).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +33,47 @@ import (
 	"seesaw/internal/cosim"
 	"seesaw/internal/jobfile"
 	"seesaw/internal/machine"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
+
+// openHub opens a telemetry hub streaming events to path as JSON Lines.
+// An empty path returns a nil hub (instrumentation disabled) and a no-op
+// closer. The closer flushes the stream and reports any sink error.
+func openHub(path string) (*telemetry.Hub, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	hub := telemetry.New(telemetry.Options{Sink: bw})
+	closer := func() {
+		if err := hub.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "seesawctl: telemetry sink:", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "seesawctl: telemetry sink:", err)
+		}
+		if n := hub.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "seesawctl: telemetry: %d events dropped\n", n)
+		}
+	}
+	return hub, closer, nil
+}
+
+// mustOpenHub is openHub with CLI error handling.
+func mustOpenHub(path string) (*telemetry.Hub, func()) {
+	hub, closer, err := openHub(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		os.Exit(1)
+	}
+	return hub, closer
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -44,6 +86,7 @@ func main() {
 	runs := fs.Int("runs", 0, "override repeated jobs per cell (0 = experiment default)")
 	seed := fs.Uint64("seed", 1, "base seed")
 	outPath := fs.String("o", "", "write a Markdown report to this file instead of stdout (all only)")
+	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 
 	switch cmd {
 	case "list":
@@ -64,12 +107,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, bench.UnknownExperimentError(id))
 			os.Exit(1)
 		}
-		runOne(e, bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed})
+		hub, closeHub := mustOpenHub(*telPath)
+		defer closeHub()
+		runOne(e, bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Telemetry: hub})
 	case "all":
 		if err := fs.Parse(os.Args[2:]); err != nil {
 			os.Exit(2)
 		}
-		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed}
+		hub, closeHub := mustOpenHub(*telPath)
+		defer closeHub()
+		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Telemetry: hub}
 		if *outPath != "" {
 			if err := writeReport(*outPath, o); err != nil {
 				fmt.Fprintln(os.Stderr, "seesawctl:", err)
@@ -96,6 +143,8 @@ func main() {
 		runTrace(os.Args[2:])
 	case "job":
 		runJob(os.Args[2:])
+	case "serve":
+		runServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -107,11 +156,12 @@ func main() {
 func runJob(args []string) {
 	fs := flag.NewFlagSet("job", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit the per-synchronization log as CSV")
+	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "seesawctl job [-csv] <job.json>")
+		fmt.Fprintln(os.Stderr, "seesawctl job [-csv] [-telemetry FILE] <job.json>")
 		os.Exit(2)
 	}
 	j, err := jobfile.LoadFile(fs.Arg(0))
@@ -124,6 +174,9 @@ func runJob(args []string) {
 		fmt.Fprintln(os.Stderr, "seesawctl:", err)
 		os.Exit(1)
 	}
+	hub, closeHub := mustOpenHub(*telPath)
+	defer closeHub()
+	cfg.Telemetry = hub
 	res, err := cosim.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seesawctl:", err)
@@ -156,9 +209,12 @@ func runTrace(args []string) {
 	steps := fs.Int("steps", 400, "Verlet steps")
 	capPer := fs.Float64("cap", 110, "per-node budget (W)")
 	seed := fs.Uint64("seed", 1, "job seed")
+	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
+	hub, closeHub := mustOpenHub(*telPath)
+	defer closeHub()
 
 	var tasks []workload.AnalysisTask
 	if *analyses == "all" {
@@ -183,6 +239,7 @@ func runTrace(args []string) {
 		Seed:        *seed,
 		RunSeed:     *seed + 1,
 		Noise:       machine.DefaultNoise(),
+		Telemetry:   hub,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seesawctl:", err)
@@ -232,9 +289,13 @@ func usage() {
 
 usage:
   seesawctl list
-  seesawctl run <id> [-steps N] [-runs N] [-seed N]
-  seesawctl all [-steps N] [-runs N] [-seed N]
-  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W]
-  seesawctl job [-csv] <job.json>
-  seesawctl selftest [-seed N]     # verify the paper's headline invariants`)
+  seesawctl run <id> [-steps N] [-runs N] [-seed N] [-telemetry FILE]
+  seesawctl all [-steps N] [-runs N] [-seed N] [-telemetry FILE]
+  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-telemetry FILE]
+  seesawctl job [-csv] [-telemetry FILE] <job.json>
+  seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N]
+  seesawctl selftest [-seed N]     # verify the paper's headline invariants
+
+serve exposes Prometheus metrics at /metrics and a JSON snapshot at
+/debug/telemetry while looping the selected experiment.`)
 }

@@ -13,6 +13,7 @@ import (
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
 	"seesaw/internal/machine"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
@@ -29,6 +30,10 @@ type Options struct {
 	// BaseSeed offsets all job seeds, for replicating experiments under
 	// different random draws.
 	BaseSeed uint64
+	// Telemetry, when non-nil, is threaded into every co-simulated job
+	// the experiment runs, collecting its metrics and event stream. Nil
+	// disables instrumentation at no cost.
+	Telemetry *telemetry.Hub
 }
 
 func (o Options) steps(def int) int {
@@ -154,6 +159,7 @@ type cell struct {
 	anaStart   units.Watts
 	jobSeed    uint64
 	runSeed    uint64
+	telemetry  *telemetry.Hub
 }
 
 // runCell executes one job.
@@ -186,6 +192,7 @@ func runCell(c cell) (*cosim.Result, error) {
 		Seed:          c.jobSeed,
 		RunSeed:       c.runSeed,
 		Noise:         machine.DefaultNoise(),
+		Telemetry:     c.telemetry,
 	})
 }
 

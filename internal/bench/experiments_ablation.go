@@ -375,6 +375,7 @@ func runExtPowerShift(o Options, w io.Writer) error {
 				Spec: spec, Constraints: cons, CapMode: cosim.CapLong,
 				InitialSimCap: cap, InitialAnaCap: units.ClampWatts(220-cap, minCap, maxCap),
 				Seed: o.BaseSeed + 271, RunSeed: o.BaseSeed + 272, Noise: noise,
+				Telemetry: o.Telemetry,
 			})
 			if err != nil {
 				simErr = err
@@ -393,6 +394,7 @@ func runExtPowerShift(o Options, w io.Writer) error {
 				Spec: spec, Constraints: cons, CapMode: cosim.CapLong,
 				InitialSimCap: units.ClampWatts(220-cap, minCap, maxCap), InitialAnaCap: cap,
 				Seed: o.BaseSeed + 271, RunSeed: o.BaseSeed + 272, Noise: noise,
+				Telemetry: o.Telemetry,
 			})
 			if err != nil {
 				anaErr = err

@@ -44,6 +44,7 @@ func runFig1(o Options, w io.Writer) error {
 		Seed:          o.BaseSeed + 1,
 		Noise:         machine.DefaultNoise(),
 		TraceSegments: true,
+		Telemetry:     o.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -155,6 +156,7 @@ func runTable1(o Options, w io.Writer) error {
 					Seed:        o.BaseSeed + 11,
 					RunSeed:     o.BaseSeed + 100 + uint64(r)*defaultSeedGap,
 					Noise:       machine.DefaultNoise(),
+					Telemetry:   o.Telemetry,
 				})
 				if err != nil {
 					return err
@@ -173,6 +175,7 @@ func runTable1(o Options, w io.Writer) error {
 					Seed:        seed,
 					RunSeed:     seed + 1,
 					Noise:       machine.DefaultNoise(),
+					Telemetry:   o.Telemetry,
 				})
 				if err != nil {
 					return err

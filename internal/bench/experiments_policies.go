@@ -64,7 +64,7 @@ func runFig3a(o Options, w io.Writer) error {
 		for _, p := range PolicyNames() {
 			imp, _, err := medianImprovement(cell{
 				spec:   spec128(cs.dim, 1, steps, cs.analyses),
-				policy: p, window: 1,
+				policy: p, window: 1, telemetry: o.Telemetry,
 			}, runs, o.BaseSeed+31)
 			if err != nil {
 				return err
@@ -95,7 +95,7 @@ func runFig3b(o Options, w io.Writer) error {
 			for _, p := range PolicyNames() {
 				imp, _, err := medianImprovement(cell{
 					spec:   specAt(n, cs.dim, 1, steps, cs.analyses),
-					policy: p, window: 1,
+					policy: p, window: 1, telemetry: o.Telemetry,
 				}, runs, o.BaseSeed+37)
 				if err != nil {
 					return err
@@ -117,7 +117,7 @@ func runFig4(o Options, w io.Writer) error {
 
 	for _, p := range []string{"seesaw", "time-aware", "power-aware"} {
 		res, err := runCell(cell{spec: spec, policy: p, window: 1,
-			jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42})
+			jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42, telemetry: o.Telemetry})
 		if err != nil {
 			return err
 		}
@@ -142,7 +142,7 @@ func runFig4(o Options, w io.Writer) error {
 	// Sub-figures d/e: baseline time and power of the first 10
 	// synchronizations without power management.
 	base, err := runCell(cell{spec: spec, policy: "static",
-		jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42})
+		jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42, telemetry: o.Telemetry})
 	if err != nil {
 		return err
 	}
@@ -165,7 +165,7 @@ func runFig5(o Options, w io.Writer) error {
 
 	for _, p := range []string{"seesaw", "time-aware"} {
 		res, err := runCell(cell{spec: spec, policy: p, window: 1,
-			jobSeed: o.BaseSeed + 51, runSeed: o.BaseSeed + 52})
+			jobSeed: o.BaseSeed + 51, runSeed: o.BaseSeed + 52, telemetry: o.Telemetry})
 		if err != nil {
 			return err
 		}

@@ -69,7 +69,7 @@ func runFig6(o Options, w io.Writer) error {
 		for _, j := range js {
 			imp, _, err := medianImprovement(cell{
 				spec:   specAt(2*nodes1024Half, defaultBigDim, j, steps, analyses),
-				policy: "seesaw", window: win,
+				policy: "seesaw", window: win, telemetry: o.Telemetry,
 			}, runs, o.BaseSeed+61)
 			if err != nil {
 				return err
@@ -106,7 +106,7 @@ func runTable2(o Options, w io.Writer) error {
 			}
 			imp, _, err := medianImprovement(cell{
 				spec:   spec128(defaultDim, 1, steps, tasks),
-				policy: "seesaw", window: 1,
+				policy: "seesaw", window: 1, telemetry: o.Telemetry,
 			}, runs, o.BaseSeed+71)
 			if err != nil {
 				return err
@@ -145,6 +145,7 @@ func runFig7(o Options, w io.Writer) error {
 			spec:   spec,
 			policy: "seesaw", window: 2,
 			simStart: st.sim, anaStart: st.ana,
+			telemetry: o.Telemetry,
 		}, runs, o.BaseSeed+81)
 		if err != nil {
 			return err
@@ -171,6 +172,7 @@ func runFig8(o Options, w io.Writer) error {
 			policy:     "seesaw",
 			window:     1,
 			capPerNode: c,
+			telemetry:  o.Telemetry,
 		}, runs, o.BaseSeed+91)
 		if err != nil {
 			return err
@@ -191,6 +193,7 @@ func runFig9a(o Options, w io.Writer) error {
 			spec:   specAt(n, defaultBigDim, 1, steps, workload.AllAnalysesForDim(defaultBigDim)),
 			policy: "seesaw", window: 1,
 			jobSeed: o.BaseSeed + 95, runSeed: o.BaseSeed + 96,
+			telemetry: o.Telemetry,
 		})
 		if err != nil {
 			return err

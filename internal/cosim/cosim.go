@@ -28,6 +28,7 @@ import (
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
 	"seesaw/internal/rapl"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
@@ -85,6 +86,12 @@ type Config struct {
 	// first node of each partition so power traces can be resampled
 	// (Figure 1).
 	TraceSegments bool
+	// Telemetry, when non-nil, receives metrics and structured events
+	// from the run: cap writes and throttling per partition (from each
+	// node's RAPL domain), one SyncBarrier per interval, idle troughs,
+	// policy decisions and budget violations. Nil disables all
+	// instrumentation at no cost.
+	Telemetry *telemetry.Hub
 }
 
 // normalize applies defaults.
@@ -167,7 +174,16 @@ func Run(cfg Config) (*Result, error) {
 		} else {
 			roles[i] = core.RoleAnalysis
 		}
+		if cfg.Telemetry != nil {
+			// Metrics aggregate per partition; the event stream carries
+			// one representative node per partition to stay readable at
+			// 1024 nodes.
+			eventful := i == 0 || i == nSim
+			nodes[i].RAPL().SetTelemetry(cfg.Telemetry, roles[i].String(), eventful)
+		}
 	}
+	var clock units.Seconds
+	policy := core.Instrument(cfg.Policy, cfg.Telemetry, func() float64 { return float64(clock) })
 	// Install initial caps.
 	if cfg.CapMode != CapNone {
 		for i, n := range nodes {
@@ -211,7 +227,6 @@ func Run(cfg Config) (*Result, error) {
 	busy := make([]units.Seconds, nTotal)
 	measures := make([]core.NodeMeasure, nTotal)
 	lastEnergy := make([]units.Joules, nTotal)
-	var clock units.Seconds
 	var carryOverhead units.Seconds
 
 	prevStep := 0
@@ -259,6 +274,7 @@ func Run(cfg Config) (*Result, error) {
 		for i, n := range nodes {
 			if wait := wall - busy[i]; wait > 0 {
 				exec := n.Idle(wait)
+				cfg.Telemetry.IdleWait(roles[i].String(), float64(wait))
 				if cfg.TraceSegments && (i == 0 || i == nSim) {
 					seg := Segment{Start: clock + busy[i], Duration: wait, Power: exec.Power}
 					if i == 0 {
@@ -288,11 +304,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rec := buildRecord(syncIdx+1, measures, nSim, overhead)
 		res.SyncLog.Add(rec)
+		if cfg.Telemetry != nil {
+			cfg.Telemetry.SyncBarrier(float64(clock), rec.Step,
+				float64(wall), float64(rec.SimTime), float64(rec.AnaTime), rec.Slack(), float64(overhead))
+			// Job-level budget check: summed measured power against the
+			// global budget (small tolerance for enforcement slack).
+			if cfg.CapMode != CapNone && cfg.Constraints.Budget > 0 {
+				total := float64(rec.SimPower)*float64(nSim) + float64(rec.AnaPower)*float64(nTotal-nSim)
+				if budget := float64(cfg.Constraints.Budget); total > budget*1.01 {
+					cfg.Telemetry.BudgetViolation(float64(clock), "job", total, budget, true)
+				}
+			}
+		}
 
 		// 4. Policy invocation and cap writes.
 		carryOverhead = 0
 		if syncing && cfg.CapMode != CapNone {
-			caps := cfg.Policy.Allocate(syncIdx+1, measures)
+			caps := policy.Allocate(syncIdx+1, measures)
 			if caps != nil {
 				for i, n := range nodes {
 					if caps[i] > 0 && caps[i] != n.RAPL().LongCap() {

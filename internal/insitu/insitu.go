@@ -37,6 +37,7 @@ import (
 	"seesaw/internal/mpi"
 	"seesaw/internal/polimer"
 	"seesaw/internal/rapl"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
 )
@@ -88,6 +89,12 @@ type Config struct {
 	// granularity); for phase-resolved traces use the cosim driver's
 	// TraceSegments.
 	PowerSample units.Seconds
+	// Telemetry, when non-nil, receives metrics and structured events
+	// from every rank: RAPL cap writes and throttling, collective
+	// rendezvous waits (via the mpi runtime), synchronization barriers
+	// and policy decisions (via PoLiMER). Nil disables instrumentation
+	// at no cost.
+	Telemetry *telemetry.Hub
 }
 
 // normalize fills zero-valued sub-configurations with defaults.
@@ -208,13 +215,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var mu sync.Mutex // guards res across rank goroutines
 
-	err := mpi.Run(nWorld, cfg.Cost, func(r *mpi.Rank) {
+	err := mpi.RunWithTelemetry(nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
 		isSim := r.WorldRank() < cfg.SimRanks
 		role := core.RoleAnalysis
 		if isSim {
 			role = core.RoleSimulation
 		}
 		node := machine.NewNode(r.WorldRank(), cfg.Rapl, cfg.Machine, cfg.Noise, cfg.Seed)
+		if cfg.Telemetry != nil {
+			// Per-partition metric labels; events from one representative
+			// rank per partition (see cosim for the same convention).
+			eventful := r.WorldRank() == 0 || r.WorldRank() == cfg.SimRanks
+			node.RAPL().SetTelemetry(cfg.Telemetry, role.String(), eventful)
+		}
 
 		initialCap := cfg.InitialAnaCap
 		if isSim {
@@ -225,6 +238,7 @@ func Run(cfg Config) (*Result, error) {
 			Constraints:  cfg.Constraints,
 			InitialCap:   initialCap,
 			ShortTermCap: cfg.ShortTermCap,
+			Telemetry:    cfg.Telemetry,
 		})
 		if err != nil {
 			panic(err)

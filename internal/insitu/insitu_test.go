@@ -1,10 +1,14 @@
 package insitu
 
 import (
+	"bytes"
+	"regexp"
+	"strings"
 	"testing"
 
 	"seesaw/internal/core"
 	"seesaw/internal/machine"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 )
 
@@ -244,6 +248,56 @@ func TestPowerSampling(t *testing.T) {
 			if v < 50 || v > 220 {
 				t.Errorf("series %s sample %v outside plausible power range", name, v)
 			}
+		}
+	}
+}
+
+// TestTelemetryStream runs the full mpi-driven workflow with a hub
+// attached and verifies every instrumented layer reported: barrier
+// waits from the collectives, sync/policy events from the root, cap
+// writes from the RAPL domains — and that the event stream decodes.
+func TestTelemetryStream(t *testing.T) {
+	var buf bytes.Buffer
+	hub := telemetry.New(telemetry.Options{Sink: &buf})
+	cfg := tinyConfig(core.MustNewSeeSAw(core.SeeSAwConfig{
+		Constraints: core.Constraints{Budget: 110 * 4, MinCap: 98, MaxCap: 215}, Window: 1,
+	}), []string{"msd"}, 10)
+	cfg.Telemetry = hub
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var sb strings.Builder
+	if err := hub.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, re := range []string{
+		`seesaw_barrier_wait_seconds_count\{op="[a-z]+"\} [1-9]`,
+		`seesaw_sync_total [1-9]`,
+		`seesaw_cap_writes_total\{node="sim"\} [1-9]`,
+		`seesaw_policy_decisions_total\{policy="seesaw",direction="[a-z-]+"\} [1-9]`,
+		`seesaw_messages_total [1-9]`,
+	} {
+		if !regexp.MustCompile(re).MatchString(out) {
+			t.Errorf("exposition missing match for %s:\n%s", re, out)
+		}
+	}
+
+	kinds := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		e, err := telemetry.Decode([]byte(line))
+		if err != nil {
+			t.Fatalf("sink line %q: %v", line, err)
+		}
+		kinds[e.Kind()]++
+	}
+	for _, want := range []string{"CapWritten", "SyncBarrier", "PolicyDecision"} {
+		if kinds[want] == 0 {
+			t.Errorf("event stream missing %s (have %v)", want, kinds)
 		}
 	}
 }

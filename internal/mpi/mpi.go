@@ -29,6 +29,7 @@ import (
 	"sort"
 	"sync"
 
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 )
 
@@ -73,6 +74,7 @@ func (c CostModel) P2PCost(bytes int) units.Seconds {
 type Runtime struct {
 	size int
 	cost CostModel
+	tel  *telemetry.Hub
 
 	mail []*mailbox
 }
@@ -113,10 +115,17 @@ type Rank struct {
 // A panic on any rank is captured and returned as an error naming the
 // rank. All clocks start at zero.
 func Run(n int, cost CostModel, body func(r *Rank)) error {
+	return RunWithTelemetry(n, cost, nil, body)
+}
+
+// RunWithTelemetry is Run with a telemetry hub attached to the runtime:
+// collective rendezvous waits and point-to-point message counts are
+// reported to it. A nil hub is equivalent to Run.
+func RunWithTelemetry(n int, cost CostModel, tel *telemetry.Hub, body func(r *Rank)) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: rank count must be positive, got %d", n)
 	}
-	rt := &Runtime{size: n, cost: cost, mail: make([]*mailbox, n)}
+	rt := &Runtime{size: n, cost: cost, tel: tel, mail: make([]*mailbox, n)}
 	for i := range rt.mail {
 		rt.mail[i] = newMailbox()
 	}
@@ -202,6 +211,7 @@ func (r *Rank) Send(dst, tag int, payload any, bytes int) {
 	mb.cond.Broadcast()
 	// Injection overhead on the sender side.
 	r.clock += r.rt.cost.P2PLatency
+	r.rt.tel.MessageSent(bytes)
 }
 
 // Recv blocks until a message from src with the given tag is available,
@@ -344,8 +354,12 @@ func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(input
 		}
 	}
 	res := g.result
+	arrival := c.rank.clock
 	c.rank.AdvanceTo(g.resClock)
 	g.mu.Unlock()
+	if wait := c.rank.clock - arrival; wait > 0 {
+		c.rank.rt.tel.RendezvousWait(opName, float64(wait))
+	}
 	return res
 }
 

@@ -28,6 +28,7 @@ import (
 	"seesaw/internal/core"
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
 )
@@ -47,6 +48,10 @@ type Options struct {
 	ShortTermCap bool
 	// Root is the world rank that runs the policy (default 0).
 	Root int
+	// Telemetry, when non-nil, receives per-synchronization barrier
+	// records and idle-wait observations from this rank, and policy
+	// decisions from the root. Nil disables instrumentation at no cost.
+	Telemetry *telemetry.Hub
 }
 
 // measure is the per-node record exchanged at each allocation.
@@ -102,6 +107,10 @@ func Init(rank *mpi.Rank, role core.Role, node *machine.Node, opts Options) (*Ma
 		role: role,
 		node: node,
 		opts: opts,
+	}
+	if opts.Telemetry != nil && rank.WorldRank() == opts.Root && opts.Policy != nil {
+		m.opts.Policy = core.Instrument(opts.Policy, opts.Telemetry,
+			func() float64 { return float64(rank.Clock()) })
 	}
 	if opts.InitialCap > 0 {
 		node.RAPL().SetLongCap(opts.InitialCap)
@@ -185,6 +194,7 @@ func (m *Manager) PowerAlloc() {
 		// the paper's Figure 1), drawing idle power.
 		m.node.Idle(wait)
 		m.prevWait = wait
+		m.opts.Telemetry.IdleWait(m.role.String(), float64(wait))
 	}
 	if m.monitor != nil {
 		m.monitor.Poll()
@@ -200,7 +210,13 @@ func (m *Manager) PowerAlloc() {
 		}
 		caps = m.opts.Policy.Allocate(m.syncStep, nodes)
 		if m.log != nil {
-			m.log.Add(m.buildRecord(nodes, exchangeCost))
+			rec := m.buildRecord(nodes, exchangeCost)
+			m.log.Add(rec)
+			if m.opts.Telemetry != nil {
+				m.opts.Telemetry.SyncBarrier(float64(m.rank.Clock()), rec.Step,
+					float64(rec.IntervalTime()), float64(rec.SimTime), float64(rec.AnaTime),
+					rec.Slack(), float64(exchangeCost))
+			}
 		}
 	}
 	res := m.comm.Bcast(m.opts.Root, caps, 8*m.comm.Size())

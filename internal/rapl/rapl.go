@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 )
 
@@ -90,6 +91,13 @@ type Domain struct {
 	windowLen units.Seconds
 
 	capWrites int
+
+	// Telemetry hooks (nil-safe, attached via SetTelemetry).
+	tel         *telemetry.Hub
+	telName     string
+	telEventful bool
+	throttled   bool
+	violating   bool
 }
 
 type sample struct {
@@ -121,6 +129,18 @@ func MustNewDomain(cfg Config) *Domain {
 // Config returns the domain's hardware configuration.
 func (d *Domain) Config() Config { return d.cfg }
 
+// SetTelemetry attaches a telemetry hub: cap writes, throttle
+// engagements and enforcement-window violations are reported under the
+// given label. Metrics cover every attached domain; structured events
+// are emitted only when eventful is true, so a driver can restrict the
+// event stream to one representative node per partition. A nil hub
+// detaches.
+func (d *Domain) SetTelemetry(h *telemetry.Hub, name string, eventful bool) {
+	d.tel = h
+	d.telName = name
+	d.telEventful = eventful
+}
+
 // Now returns the domain's current virtual time.
 func (d *Domain) Now() units.Seconds { return d.now }
 
@@ -141,6 +161,7 @@ func (d *Domain) SetLongCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency})
+	d.tel.CapWritten(float64(d.now), d.telName, float64(w), false, d.telEventful)
 }
 
 // SetShortCap requests a new short-term power cap with the same clamping
@@ -151,6 +172,7 @@ func (d *Domain) SetShortCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency, shortCap: true})
+	d.tel.CapWritten(float64(d.now), d.telName, float64(w), true, d.telEventful)
 }
 
 // LongCap returns the currently effective long-term cap (0 if uncapped).
@@ -180,6 +202,36 @@ func (d *Domain) applyPending() {
 		}
 	}
 	d.pending = remaining
+}
+
+// effectiveTarget returns the power level RAPL regulates to under the
+// current caps (the long cap, lowered by the dual-cap margin when a
+// short cap is also set), or 0 when uncapped.
+func (d *Domain) effectiveTarget() units.Watts {
+	if d.longCap <= 0 {
+		return 0
+	}
+	target := d.longCap
+	if d.shortCap > 0 {
+		target = units.Watts(float64(target) * (1 - d.cfg.DualCapMargin))
+	}
+	return target
+}
+
+// noteThrottle reports engage transitions of demand clipping to the
+// telemetry hub (disengagement resets the state silently).
+func (d *Domain) noteThrottle(demand, allowed units.Watts) {
+	if d.tel == nil {
+		return
+	}
+	if allowed < demand {
+		if !d.throttled {
+			d.throttled = true
+			d.tel.ThrottleEngaged(float64(d.now), d.telName, float64(demand), float64(allowed), d.telEventful)
+		}
+	} else {
+		d.throttled = false
+	}
 }
 
 // windowAvg returns the average power over the long-term window.
@@ -234,6 +286,7 @@ func (d *Domain) Allowed(demand units.Watts) units.Watts {
 	if allowed < 0 {
 		allowed = 0
 	}
+	d.noteThrottle(demand, allowed)
 	return allowed
 }
 
@@ -264,6 +317,7 @@ func (d *Domain) SustainedAllowed(demand units.Watts) units.Watts {
 	if allowed < 0 {
 		allowed = 0
 	}
+	d.noteThrottle(demand, allowed)
 	return allowed
 }
 
@@ -297,6 +351,23 @@ func (d *Domain) Advance(dt units.Seconds, p units.Watts) {
 			d.window[0].dt -= excess
 			d.windowLen -= excess
 			d.windowJ -= units.Energy(head.p, excess)
+		}
+	}
+
+	// Enforcement-window violation telemetry: the window average rising
+	// above the effective cap target (beyond a small tolerance) is
+	// reported once per excursion.
+	if d.tel != nil {
+		if target := d.effectiveTarget(); target > 0 {
+			const tolerance = 1.02
+			if avg := d.windowAvg(); float64(avg) > float64(target)*tolerance {
+				if !d.violating {
+					d.violating = true
+					d.tel.BudgetViolation(float64(d.now), d.telName, float64(avg), float64(target), d.telEventful)
+				}
+			} else {
+				d.violating = false
+			}
 		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
 	"seesaw/internal/machine"
+	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
@@ -58,6 +59,10 @@ type Config struct {
 	Seed uint64
 	// Noise is the node noise model.
 	Noise machine.NoiseModel
+	// Telemetry, when non-nil, receives per-job budget-share events at
+	// every system-level re-division plus the full intra-job stream of
+	// each cosim slice. Nil disables instrumentation at no cost.
+	Telemetry *telemetry.Hub
 }
 
 // JobResult reports one job's outcome.
@@ -124,6 +129,8 @@ func Run(cfg Config) (*Result, error) {
 	budgets := make([]units.Watts, nJobs)
 	for i, j := range cfg.Jobs {
 		budgets[i] = cfg.MachineBudget * units.Watts(jobNodes(j)) / units.Watts(totalNodes)
+		cfg.Telemetry.JobBudget(0, 0, j.Name, float64(budgets[i]),
+			float64(budgets[i])/float64(cfg.MachineBudget))
 	}
 
 	// Slice each job's steps across the epochs.
@@ -167,6 +174,7 @@ func Run(cfg Config) (*Result, error) {
 				Seed:        cfg.Seed + uint64(i)*101,
 				RunSeed:     cfg.Seed + uint64(i)*101 + uint64(epoch) + 1,
 				Noise:       cfg.Noise,
+				Telemetry:   cfg.Telemetry,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("sched: job %s epoch %d: %w", j.Name, epoch, err)
@@ -199,6 +207,10 @@ func Run(cfg Config) (*Result, error) {
 					budgets[i] = share
 				}
 				rebalanceToMachineBudget(budgets, cfg)
+				for i, j := range cfg.Jobs {
+					cfg.Telemetry.JobBudget(float64(states[i].time), epoch+1, j.Name,
+						float64(budgets[i]), float64(budgets[i])/float64(cfg.MachineBudget))
+				}
 			}
 		}
 	}

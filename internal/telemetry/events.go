@@ -1,0 +1,177 @@
+// Structured events: the typed records the power-management stack emits
+// at state changes, encoded one JSON object per line (JSONL). Events are
+// the "what happened" complement to the registry's "how much/how fast"
+// aggregates: a cap write, a policy decision, a synchronization barrier,
+// a budget violation, a throttle engagement, a scheduler budget share.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Event is a structured telemetry record. Kind returns the stable type
+// tag used in the JSONL envelope; Decode dispatches on it.
+type Event interface {
+	Kind() string
+}
+
+// CapWritten records a RAPL cap write on one node (after clamping,
+// before the actuation latency elapses).
+type CapWritten struct {
+	// T is the virtual time of the write, in seconds.
+	T float64 `json:"t"`
+	// Node identifies the domain ("sim"/"ana" partition labels in the
+	// drivers).
+	Node string `json:"node"`
+	// CapW is the requested cap in Watts (0 = cap removed).
+	CapW float64 `json:"cap_w"`
+	// Short marks a short-term (9.766 ms window) cap write.
+	Short bool `json:"short,omitempty"`
+}
+
+// Kind implements Event.
+func (CapWritten) Kind() string { return "CapWritten" }
+
+// PolicyDecision records one allocation decision: the per-node partition
+// caps before and after, the per-node shift magnitude, and its
+// direction.
+type PolicyDecision struct {
+	T      float64 `json:"t"`
+	Policy string  `json:"policy"`
+	// Step is the synchronization index the decision acted on (1-based).
+	Step int `json:"step"`
+	// PrevSimCapW/PrevAnaCapW are the per-node caps in force during the
+	// measured interval; SimCapW/AnaCapW are the newly emitted caps.
+	PrevSimCapW float64 `json:"prev_sim_cap_w"`
+	PrevAnaCapW float64 `json:"prev_ana_cap_w"`
+	SimCapW     float64 `json:"sim_cap_w"`
+	AnaCapW     float64 `json:"ana_cap_w"`
+	// ShiftW is the absolute per-node power moved, |SimCapW - PrevSimCapW|.
+	ShiftW float64 `json:"shift_w"`
+	// Direction is "to-sim", "to-ana" or "hold".
+	Direction string `json:"direction"`
+}
+
+// Kind implements Event.
+func (PolicyDecision) Kind() string { return "PolicyDecision" }
+
+// SyncBarrier records one simulation/analysis synchronization interval:
+// the wall time, each partition's busy time, and the normalized slack.
+type SyncBarrier struct {
+	T        float64 `json:"t"`
+	Step     int     `json:"step"`
+	WallS    float64 `json:"wall_s"`
+	SimS     float64 `json:"sim_s"`
+	AnaS     float64 `json:"ana_s"`
+	Slack    float64 `json:"slack"`
+	Overhead float64 `json:"overhead_s,omitempty"`
+}
+
+// Kind implements Event.
+func (SyncBarrier) Kind() string { return "SyncBarrier" }
+
+// BudgetViolation records observed power exceeding its limit: a node's
+// RAPL window average above the effective cap, or a job's summed power
+// above the global budget (Node == "job").
+type BudgetViolation struct {
+	T         float64 `json:"t"`
+	Node      string  `json:"node"`
+	ObservedW float64 `json:"observed_w"`
+	LimitW    float64 `json:"limit_w"`
+}
+
+// Kind implements Event.
+func (BudgetViolation) Kind() string { return "BudgetViolation" }
+
+// ThrottleEngaged records a RAPL domain starting to regulate below a
+// phase's demand (emitted on the engage transition only; disengagement
+// is silent).
+type ThrottleEngaged struct {
+	T        float64 `json:"t"`
+	Node     string  `json:"node"`
+	DemandW  float64 `json:"demand_w"`
+	AllowedW float64 `json:"allowed_w"`
+}
+
+// Kind implements Event.
+func (ThrottleEngaged) Kind() string { return "ThrottleEngaged" }
+
+// BudgetShare records the machine-level scheduler (re)assigning one
+// job's power budget.
+type BudgetShare struct {
+	T float64 `json:"t"`
+	// Epoch is the scheduler epoch after which the division applies.
+	Epoch   int     `json:"epoch"`
+	Job     string  `json:"job"`
+	BudgetW float64 `json:"budget_w"`
+	// Share is the job's fraction of the machine budget.
+	Share float64 `json:"share"`
+}
+
+// Kind implements Event.
+func (BudgetShare) Kind() string { return "BudgetShare" }
+
+// envelope is the JSONL wire form: {"kind": "...", "data": {...}}.
+type envelope struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data"`
+}
+
+// Encode renders an event as one JSONL line (without trailing newline).
+func Encode(e Event) ([]byte, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encode %s: %w", e.Kind(), err)
+	}
+	return json.Marshal(envelope{Kind: e.Kind(), Data: data})
+}
+
+// Decode parses one JSONL line back into its typed event.
+func Decode(line []byte) (Event, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return nil, fmt.Errorf("telemetry: decode envelope: %w", err)
+	}
+	var ev Event
+	switch env.Kind {
+	case "CapWritten":
+		ev = &CapWritten{}
+	case "PolicyDecision":
+		ev = &PolicyDecision{}
+	case "SyncBarrier":
+		ev = &SyncBarrier{}
+	case "BudgetViolation":
+		ev = &BudgetViolation{}
+	case "ThrottleEngaged":
+		ev = &ThrottleEngaged{}
+	case "BudgetShare":
+		ev = &BudgetShare{}
+	default:
+		return nil, fmt.Errorf("telemetry: unknown event kind %q", env.Kind)
+	}
+	if err := json.Unmarshal(env.Data, ev); err != nil {
+		return nil, fmt.Errorf("telemetry: decode %s: %w", env.Kind, err)
+	}
+	return deref(ev), nil
+}
+
+// deref turns the pointer Decode unmarshals into back into the value
+// form events are emitted as, so Decode(Encode(e)) == e.
+func deref(e Event) Event {
+	switch v := e.(type) {
+	case *CapWritten:
+		return *v
+	case *PolicyDecision:
+		return *v
+	case *SyncBarrier:
+		return *v
+	case *BudgetViolation:
+		return *v
+	case *ThrottleEngaged:
+		return *v
+	case *BudgetShare:
+		return *v
+	}
+	return e
+}

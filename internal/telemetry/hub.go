@@ -1,0 +1,333 @@
+// Hub: the shared handle the instrumented stack reports into. It owns
+// the metric registry, a bounded ring of recent events, and an optional
+// JSONL sink. Every hook method is safe to call on a nil *Hub and costs
+// nothing (no allocations, one pointer comparison) in that case, so the
+// hot paths of rapl, mpi, cosim and insitu carry their hooks
+// unconditionally.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures a Hub.
+type Options struct {
+	// RingSize bounds the in-memory event ring (default 1024). The ring
+	// never blocks emitters: the oldest events are overwritten.
+	RingSize int
+	// Sink, when non-nil, receives every event as one JSONL line. Sink
+	// writes happen under the Hub's mutex; wrap slow writers in a
+	// bufio.Writer (Close flushes writers that implement Flush).
+	Sink io.Writer
+}
+
+// Hub is the process-wide telemetry endpoint. Safe for concurrent use
+// from any number of goroutines (the insitu driver runs one per rank).
+type Hub struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	full    bool
+	sink    io.Writer
+	sinkErr error
+
+	dropped atomic.Uint64
+
+	// Pre-registered families for the instrumented hot paths.
+	capWrites    *Family // counter{node}
+	capGauge     *Family // gauge{node}
+	throttles    *Family // counter{node}
+	violations   *Family // counter{node}
+	rendWait     *Family // histogram{op}: collective rendezvous wait
+	msgs         *Family // counter: point-to-point messages
+	msgBytes     *Family // counter: point-to-point payload bytes
+	syncs        *Family // counter: synchronization barriers
+	wallHist     *Family // histogram: interval wall time
+	slackGauge   *Family // gauge: latest interval normalized slack
+	idleHist     *Family // histogram{partition}: idle troughs at barriers
+	decisions    *Family // counter{policy,direction}
+	shiftHist    *Family // histogram{policy}: per-node shift magnitude
+	powerHist    *Family // histogram{partition}: measured per-node power
+	jobBudget    *Family // gauge{job}: scheduler budget share
+	eventsTotal  *Family // counter{kind}
+	droppedTotal *Family // counter: ring/sink drops
+}
+
+// New returns a Hub with the standard metric families registered.
+func New(o Options) *Hub {
+	if o.RingSize <= 0 {
+		o.RingSize = 1024
+	}
+	reg := NewRegistry()
+	h := &Hub{
+		reg:  reg,
+		ring: make([]Event, o.RingSize),
+		sink: o.Sink,
+
+		capWrites:    reg.Counter("seesaw_cap_writes_total", "RAPL cap write operations", "node"),
+		capGauge:     reg.Gauge("seesaw_power_cap_watts", "Most recently written RAPL long-term cap", "node"),
+		throttles:    reg.Counter("seesaw_throttle_engaged_total", "RAPL throttle engagements (demand clipped to cap)", "node"),
+		violations:   reg.Counter("seesaw_budget_violations_total", "Power observed above its limit", "node"),
+		rendWait:     reg.Histogram("seesaw_barrier_wait_seconds", "Virtual time ranks wait at collective rendezvous", LatencyBuckets(), "op"),
+		msgs:         reg.Counter("seesaw_messages_total", "Point-to-point messages sent"),
+		msgBytes:     reg.Counter("seesaw_message_bytes_total", "Point-to-point payload bytes sent"),
+		syncs:        reg.Counter("seesaw_sync_total", "Simulation/analysis synchronization intervals"),
+		wallHist:     reg.Histogram("seesaw_interval_wall_seconds", "Synchronization interval wall time", LatencyBuckets()),
+		slackGauge:   reg.Gauge("seesaw_interval_slack", "Normalized slack of the latest interval"),
+		idleHist:     reg.Histogram("seesaw_idle_trough_seconds", "Per-node idle time at synchronization barriers", LatencyBuckets(), "partition"),
+		decisions:    reg.Counter("seesaw_policy_decisions_total", "Policy allocation decisions", "policy", "direction"),
+		shiftHist:    reg.Histogram("seesaw_policy_shift_watts", "Per-node power moved by one policy decision", []float64{0.5, 1, 2, 5, 10, 20, 50, 100}, "policy"),
+		powerHist:    reg.Histogram("seesaw_node_power_watts", "Measured per-node average power per interval", PowerBuckets(), "partition"),
+		jobBudget:    reg.Gauge("seesaw_job_budget_watts", "Per-job power budget assigned by the scheduler", "job"),
+		eventsTotal:  reg.Counter("seesaw_events_total", "Structured events emitted", "kind"),
+		droppedTotal: reg.Counter("seesaw_events_dropped_total", "Structured events lost to sink errors"),
+	}
+	return h
+}
+
+// Registry returns the hub's metric registry (nil for a nil hub).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.reg
+}
+
+// Emit records a structured event: into the ring, the sink (as JSONL)
+// and the per-kind counter.
+func (h *Hub) Emit(e Event) {
+	if h == nil {
+		return
+	}
+	h.eventsTotal.With(e.Kind()).Inc()
+	h.mu.Lock()
+	h.ring[h.next] = e
+	h.next++
+	if h.next == len(h.ring) {
+		h.next = 0
+		h.full = true
+	}
+	if h.sink != nil && h.sinkErr == nil {
+		line, err := Encode(e)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = h.sink.Write(line)
+		}
+		if err != nil {
+			h.sinkErr = err
+			h.dropped.Add(1)
+			h.droppedTotal.With().Inc()
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Events returns the ring's contents, oldest first.
+func (h *Hub) Events() []Event {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []Event
+	if h.full {
+		out = append(out, h.ring[h.next:]...)
+	}
+	out = append(out, h.ring[:h.next]...)
+	return out
+}
+
+// Dropped returns how many events were lost to sink errors.
+func (h *Hub) Dropped() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// SinkErr returns the first sink write error, if any.
+func (h *Hub) SinkErr() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sinkErr
+}
+
+// Close flushes the sink when it supports flushing (e.g. bufio.Writer)
+// and returns the first sink error encountered.
+func (h *Hub) Close() error {
+	if h == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if f, ok := h.sink.(interface{ Flush() error }); ok {
+		if err := f.Flush(); err != nil && h.sinkErr == nil {
+			h.sinkErr = err
+		}
+	}
+	return h.sinkErr
+}
+
+// debugState is the /debug/telemetry JSON document.
+type debugState struct {
+	Metrics []FamilySnapshot  `json:"metrics"`
+	Events  []json.RawMessage `json:"events"`
+	Dropped uint64            `json:"dropped_events"`
+}
+
+// WriteJSON emits a JSON snapshot of all metrics plus the recent event
+// ring — the payload of seesawctl's /debug/telemetry endpoint.
+func (h *Hub) WriteJSON(w io.Writer) error {
+	if h == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	st := debugState{Metrics: h.reg.Snapshot(), Dropped: h.Dropped()}
+	for _, e := range h.Events() {
+		line, err := Encode(e)
+		if err != nil {
+			continue
+		}
+		st.Events = append(st.Events, line)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// ---- hook methods (all nil-safe and allocation-free when h == nil) ----
+
+// CapWritten reports a RAPL cap write. Metrics are always updated; the
+// structured event is emitted only when eventful is true, so drivers can
+// restrict the event stream to one representative node per partition
+// while counters still cover every node.
+func (h *Hub) CapWritten(t float64, node string, capW float64, short, eventful bool) {
+	if h == nil {
+		return
+	}
+	h.capWrites.With(node).Inc()
+	if !short {
+		h.capGauge.With(node).Set(capW)
+	}
+	if eventful {
+		h.Emit(CapWritten{T: t, Node: node, CapW: capW, Short: short})
+	}
+}
+
+// ThrottleEngaged reports a RAPL domain starting to clip demand (the
+// caller gates on the engage transition).
+func (h *Hub) ThrottleEngaged(t float64, node string, demandW, allowedW float64, eventful bool) {
+	if h == nil {
+		return
+	}
+	h.throttles.With(node).Inc()
+	if eventful {
+		h.Emit(ThrottleEngaged{T: t, Node: node, DemandW: demandW, AllowedW: allowedW})
+	}
+}
+
+// BudgetViolation reports observed power above its limit (a node's RAPL
+// window or a whole job's budget, node == "job"). The counter covers
+// every caller; the structured event is emitted only when eventful is
+// true so per-node excursions don't flood the stream at scale.
+func (h *Hub) BudgetViolation(t float64, node string, observedW, limitW float64, eventful bool) {
+	if h == nil {
+		return
+	}
+	h.violations.With(node).Inc()
+	if eventful {
+		h.Emit(BudgetViolation{T: t, Node: node, ObservedW: observedW, LimitW: limitW})
+	}
+}
+
+// RendezvousWait records the virtual time one rank waited in a
+// collective (metrics only: per-rank per-collective events would swamp
+// the stream).
+func (h *Hub) RendezvousWait(op string, seconds float64) {
+	if h == nil {
+		return
+	}
+	h.rendWait.With(op).Observe(seconds)
+}
+
+// MessageSent counts one point-to-point message (metrics only).
+func (h *Hub) MessageSent(bytes int) {
+	if h == nil {
+		return
+	}
+	h.msgs.With().Inc()
+	h.msgBytes.With().Add(float64(bytes))
+}
+
+// SyncBarrier reports one completed synchronization interval.
+func (h *Hub) SyncBarrier(t float64, step int, wallS, simS, anaS, slack, overheadS float64) {
+	if h == nil {
+		return
+	}
+	h.syncs.With().Inc()
+	h.wallHist.With().Observe(wallS)
+	h.slackGauge.With().Set(slack)
+	h.Emit(SyncBarrier{T: t, Step: step, WallS: wallS, SimS: simS, AnaS: anaS, Slack: slack, Overhead: overheadS})
+}
+
+// IdleWait records one node's idle trough at a synchronization barrier
+// (metrics only).
+func (h *Hub) IdleWait(partition string, seconds float64) {
+	if h == nil {
+		return
+	}
+	h.idleHist.With(partition).Observe(seconds)
+}
+
+// NodePower records one node's measured average power over an interval
+// (metrics only).
+func (h *Hub) NodePower(partition string, watts float64) {
+	if h == nil {
+		return
+	}
+	h.powerHist.With(partition).Observe(watts)
+}
+
+// PolicyDecision reports one allocation decision; shift magnitude and
+// direction are derived from the per-node partition caps.
+func (h *Hub) PolicyDecision(t float64, policy string, step int, prevSimW, prevAnaW, simW, anaW float64) {
+	if h == nil {
+		return
+	}
+	const eps = 1e-9
+	shift := simW - prevSimW
+	dir := "hold"
+	switch {
+	case shift > eps:
+		dir = "to-sim"
+	case shift < -eps:
+		dir = "to-ana"
+	}
+	h.decisions.With(policy, dir).Inc()
+	h.shiftHist.With(policy).Observe(math.Abs(shift))
+	h.Emit(PolicyDecision{
+		T: t, Policy: policy, Step: step,
+		PrevSimCapW: prevSimW, PrevAnaCapW: prevAnaW,
+		SimCapW: simW, AnaCapW: anaW,
+		ShiftW: math.Abs(shift), Direction: dir,
+	})
+}
+
+// JobBudget reports the machine-level scheduler assigning one job's
+// power budget.
+func (h *Hub) JobBudget(t float64, epoch int, job string, budgetW, share float64) {
+	if h == nil {
+		return
+	}
+	h.jobBudget.With(job).Set(budgetW)
+	h.Emit(BudgetShare{T: t, Epoch: epoch, Job: job, BudgetW: budgetW, Share: share})
+}

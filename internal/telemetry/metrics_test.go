@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "test counter", "node")
+	c.With("n0").Inc()
+	c.With("n0").Add(2.5)
+	if got := c.With("n0").Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "test gauge")
+	g.With().Set(110)
+	g.With().Add(-10)
+	if got := g.With().Value(); got != 100 {
+		t.Errorf("gauge = %v, want 100", got)
+	}
+}
+
+func TestCounterDecreasePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on counter decrease")
+		}
+	}()
+	NewRegistry().Counter("c_total", "h").With().Add(-1)
+}
+
+func TestWithLabelArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong label count")
+		}
+	}()
+	NewRegistry().Counter("c_total", "h", "a", "b").With("only-one")
+}
+
+func TestReRegisterSameKindReturnsSameFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	b := r.Counter("x_total", "h")
+	if a != b {
+		t.Error("re-registration should return the existing family")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+// TestHistogramBucketBoundaries pins the le (less-or-equal) bucket
+// semantics: an observation equal to an upper bound lands in that
+// bucket, anything above the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // index into BucketCounts (last = +Inf)
+	}{
+		{0.4, 0}, {0.5, 0}, // at the bound -> that bucket
+		{0.50001, 1}, {1, 1},
+		{1.5, 2}, {2, 2},
+		{2.1, 3},         // above last bound -> +Inf
+		{math.Inf(1), 3}, // +Inf -> +Inf
+		{-3, 0},          // below the first bound -> first bucket
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		h := r.Histogram("h", "test", []float64{0.5, 1, 2})
+		m := h.With()
+		m.Observe(tc.v)
+		counts := m.BucketCounts()
+		if len(counts) != 4 {
+			t.Fatalf("BucketCounts len = %d, want 4", len(counts))
+		}
+		for i, c := range counts {
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if c != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.v, i, c, want)
+			}
+		}
+		if m.Count() != 1 {
+			t.Errorf("Observe(%v): Count = %d", tc.v, m.Count())
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	m := NewRegistry().Histogram("h", "test", []float64{1, 2}).With()
+	m.Observe(0.5)
+	m.Observe(1.5)
+	if got := m.Sum(); got != 2.0 {
+		t.Errorf("Sum = %v, want 2", got)
+	}
+	if got := m.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+}
+
+func TestUnsortedBucketsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unsorted buckets")
+		}
+	}()
+	NewRegistry().Histogram("h", "test", []float64{2, 1})
+}
+
+func TestStandardBuckets(t *testing.T) {
+	for name, b := range map[string][]float64{"power": PowerBuckets(), "latency": LatencyBuckets()} {
+		if !sort.Float64sAreSorted(b) {
+			t.Errorf("%s buckets not ascending: %v", name, b)
+		}
+		if len(b) == 0 {
+			t.Errorf("%s buckets empty", name)
+		}
+	}
+	p := PowerBuckets()
+	if p[0] != 90 || p[len(p)-1] != 220 {
+		t.Errorf("power buckets span %v..%v, want 90..220", p[0], p[len(p)-1])
+	}
+	l := LatencyBuckets()
+	if l[0] != 1e-6 || l[len(l)-1] != 100 {
+		t.Errorf("latency buckets span %v..%v, want 1e-06..100", l[0], l[len(l)-1])
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines;
+// run with -race to verify the synchronization (the tier-1 gate does).
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			node := string(rune('a' + g%4))
+			for i := 0; i < perG; i++ {
+				r.Counter("conc_total", "h", "node").With(node).Inc()
+				r.Gauge("conc_gauge", "h").With().Set(float64(i))
+				r.Histogram("conc_hist", "h", []float64{10, 100, 1000}).With().Observe(float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var sum float64
+	for _, node := range []string{"a", "b", "c", "d"} {
+		sum += r.Counter("conc_total", "h", "node").With(node).Value()
+	}
+	if want := float64(goroutines * perG); sum != want {
+		t.Errorf("concurrent counter sum = %v, want %v", sum, want)
+	}
+	if got := r.Histogram("conc_hist", "h", []float64{10, 100, 1000}).With().Count(); got != goroutines*perG {
+		t.Errorf("concurrent histogram count = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "counter help", "node").With("n0").Add(3)
+	r.Gauge("a_gauge", "gauge help").With().Set(1.5)
+	h := r.Histogram("c_seconds", "hist help", []float64{1, 2}).With()
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_gauge gauge help\n# TYPE a_gauge gauge\na_gauge 1.5\n",
+		"# HELP b_total counter help\n# TYPE b_total counter\nb_total{node=\"n0\"} 3\n",
+		"# TYPE c_seconds histogram\n",
+		"c_seconds_bucket{le=\"1\"} 1\n",
+		"c_seconds_bucket{le=\"2\"} 2\n",  // cumulative
+		"c_seconds_bucket{le=\"+Inf\"} 3", // includes the overflow
+		"c_seconds_sum 101\n",
+		"c_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must appear sorted by name.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "h", "node").With("n1").Add(7)
+	hm := r.Histogram("s_hist", "h", []float64{1}).With()
+	hm.Observe(0.5)
+	hm.Observe(3)
+
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot families = %d, want 2", len(snap))
+	}
+	// Sorted: s_hist before s_total.
+	if snap[0].Name != "s_hist" || snap[1].Name != "s_total" {
+		t.Fatalf("snapshot order = %s, %s", snap[0].Name, snap[1].Name)
+	}
+	hs := snap[0].Series[0]
+	if hs.Count != 2 || hs.Sum != 3.5 || hs.Buckets["1"] != 1 || hs.Buckets["+Inf"] != 1 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+	cs := snap[1].Series[0]
+	if cs.Value != 7 || cs.Labels["node"] != "n1" {
+		t.Errorf("counter snapshot = %+v", cs)
+	}
+}

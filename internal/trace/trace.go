@@ -6,7 +6,9 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"seesaw/internal/units"
@@ -55,10 +57,14 @@ func NewRecorder() *Recorder {
 	return &Recorder{series: make(map[string]*Series)}
 }
 
-// Series returns the named series, creating it on first use.
+// Series returns the named series, creating it on first use. The zero
+// Recorder is usable; the map is initialized lazily.
 func (r *Recorder) Series(name string) *Series {
 	if s, ok := r.series[name]; ok {
 		return s
+	}
+	if r.series == nil {
+		r.series = make(map[string]*Series)
 	}
 	s := &Series{Name: name}
 	r.series[name] = s
@@ -69,14 +75,34 @@ func (r *Recorder) Series(name string) *Series {
 // Names returns the series names in creation order.
 func (r *Recorder) Names() []string { return append([]string(nil), r.order...) }
 
+// csvFloat formats v for a CSV cell with the given precision.
+// Non-finite values render as the canonical tokens NaN, +Inf and -Inf
+// (all accepted by strconv.ParseFloat) so a defective sample can never
+// produce an unparsable row.
+func csvFloat(v float64, prec int) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
 // WriteCSV emits all series as long-format CSV: series,time,value.
+// The header is always written; series without samples contribute no
+// rows (long format has no way to represent them), so an empty recorder
+// yields a header-only document.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "series,time_s,value"); err != nil {
 		return err
 	}
 	for _, name := range r.order {
 		for _, smp := range r.series[name].Samples {
-			if _, err := fmt.Fprintf(w, "%s,%.6f,%.6f\n", name, float64(smp.Time), smp.Value); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s\n",
+				name, csvFloat(float64(smp.Time), 6), csvFloat(smp.Value, 6)); err != nil {
 				return err
 			}
 		}
@@ -167,16 +193,19 @@ func (l *SyncLog) MeanSlackFrom(from int) float64 {
 	return sum / float64(n)
 }
 
-// WriteCSV emits the log as CSV with one row per synchronization.
+// WriteCSV emits the log as CSV with one row per synchronization. An
+// empty log yields a header-only document; non-finite measurements
+// render as NaN/+Inf/-Inf tokens rather than breaking the row format.
 func (l *SyncLog) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "step,sim_time_s,ana_time_s,sim_power_w,ana_power_w,sim_cap_w,ana_cap_w,slack,overhead_s"); err != nil {
 		return err
 	}
 	for _, r := range l.Records {
-		if _, err := fmt.Fprintf(w, "%d,%.6f,%.6f,%.3f,%.3f,%.3f,%.3f,%.5f,%.6f\n",
-			r.Step, float64(r.SimTime), float64(r.AnaTime),
-			float64(r.SimPower), float64(r.AnaPower),
-			float64(r.SimCap), float64(r.AnaCap), r.Slack(), float64(r.Overhead)); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s,%s,%s,%s,%s,%s\n",
+			r.Step, csvFloat(float64(r.SimTime), 6), csvFloat(float64(r.AnaTime), 6),
+			csvFloat(float64(r.SimPower), 3), csvFloat(float64(r.AnaPower), 3),
+			csvFloat(float64(r.SimCap), 3), csvFloat(float64(r.AnaCap), 3),
+			csvFloat(r.Slack(), 5), csvFloat(float64(r.Overhead), 6)); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -166,5 +168,126 @@ func TestRenderMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRecorderCSVEdgeCases covers empty recorders, sample-less series
+// and non-finite sample values: every emitted row must stay parseable.
+func TestRecorderCSVEdgeCases(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name  string
+		build func() *Recorder
+		want  []string // exact lines, header included
+	}{
+		{
+			name:  "empty recorder",
+			build: NewRecorder,
+			want:  []string{"series,time_s,value"},
+		},
+		{
+			name: "zero-value recorder is usable",
+			build: func() *Recorder {
+				var r Recorder
+				r.Series("a").Add(1, 2)
+				return &r
+			},
+			want: []string{"series,time_s,value", "a,1.000000,2.000000"},
+		},
+		{
+			name: "series with no samples emits no rows",
+			build: func() *Recorder {
+				r := NewRecorder()
+				r.Series("empty")
+				r.Series("full").Add(0, 1)
+				return r
+			},
+			want: []string{"series,time_s,value", "full,0.000000,1.000000"},
+		},
+		{
+			name: "non-finite values render as canonical tokens",
+			build: func() *Recorder {
+				r := NewRecorder()
+				s := r.Series("x")
+				s.Add(0, nan)
+				s.Add(1, math.Inf(1))
+				s.Add(units.Seconds(nan), math.Inf(-1))
+				return r
+			},
+			want: []string{"series,time_s,value",
+				"x,0.000000,NaN", "x,1.000000,+Inf", "x,NaN,-Inf"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := tc.build().WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+			got := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d lines %q, want %d", len(got), got, len(tc.want))
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Errorf("line %d = %q, want %q", i, got[i], tc.want[i])
+				}
+			}
+			// Every numeric cell of every data row must parse.
+			for _, line := range got[1:] {
+				cells := strings.Split(line, ",")
+				for _, c := range cells[1:] {
+					if _, err := strconv.ParseFloat(c, 64); err != nil {
+						t.Errorf("cell %q not parseable: %v", c, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSyncLogCSVEdgeCases mirrors the recorder edge cases for the
+// per-synchronization log.
+func TestSyncLogCSVEdgeCases(t *testing.T) {
+	nan := units.Seconds(math.NaN())
+	cases := []struct {
+		name    string
+		log     SyncLog
+		rows    int
+		contain []string
+	}{
+		{name: "empty log is header-only", log: SyncLog{}, rows: 0},
+		{
+			name: "NaN interval propagates as tokens",
+			log:  SyncLog{Records: []SyncRecord{{Step: 1, SimTime: nan, AnaTime: 2, SimPower: units.Watts(math.Inf(1))}}},
+			rows: 1, contain: []string{"NaN", "+Inf"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := tc.log.WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+			if lines[0] != "step,sim_time_s,ana_time_s,sim_power_w,ana_power_w,sim_cap_w,ana_cap_w,slack,overhead_s" {
+				t.Errorf("header = %q", lines[0])
+			}
+			if got := len(lines) - 1; got != tc.rows {
+				t.Fatalf("rows = %d, want %d (%q)", got, tc.rows, lines)
+			}
+			for _, want := range tc.contain {
+				if !strings.Contains(sb.String(), want) {
+					t.Errorf("output %q missing %q", sb.String(), want)
+				}
+			}
+			for _, line := range lines[1:] {
+				for _, c := range strings.Split(line, ",") {
+					if _, err := strconv.ParseFloat(c, 64); err != nil {
+						t.Errorf("cell %q not parseable: %v", c, err)
+					}
+				}
+			}
+		})
 	}
 }
