@@ -5,6 +5,7 @@
 package seesaw_test
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -35,7 +36,7 @@ func runExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if err := e.Run(benchOptions(), io.Discard); err != nil {
+		if err := e.Run(context.Background(), benchOptions(), io.Discard); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +113,7 @@ func BenchmarkCosim128Nodes(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1})
-		if _, err := cosim.Run(cosim.Config{Spec: spec, Policy: ss, Constraints: cons,
+		if _, err := cosim.Run(context.Background(), cosim.Config{Spec: spec, Policy: ss, Constraints: cons,
 			CapMode: cosim.CapLong, Seed: uint64(i), Noise: machine.DefaultNoise()}); err != nil {
 			b.Fatal(err)
 		}
@@ -133,7 +134,7 @@ func benchmarkCosimTelemetry(b *testing.B, hub *telemetry.Hub) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1})
-		if _, err := cosim.Run(cosim.Config{Spec: spec, Policy: ss, Constraints: cons,
+		if _, err := cosim.Run(context.Background(), cosim.Config{Spec: spec, Policy: ss, Constraints: cons,
 			CapMode: cosim.CapLong, Seed: uint64(i), Noise: machine.DefaultNoise(),
 			Telemetry: hub}); err != nil {
 			b.Fatal(err)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -46,7 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := insitu.Run(insitu.Config{
+	res, err := insitu.Run(context.Background(), insitu.Config{
 		SimRanks:    *simRanks,
 		AnaRanks:    *anaRanks,
 		Steps:       *steps,

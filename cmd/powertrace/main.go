@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "job seed")
 	flag.Parse()
 
-	res, err := cosim.Run(cosim.Config{
+	res, err := cosim.Run(context.Background(), cosim.Config{
 		Spec: workload.Spec{
 			SimNodes: 64, AnaNodes: 64,
 			Dim: 16, J: 1, Steps: *steps,

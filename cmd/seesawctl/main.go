@@ -15,7 +15,12 @@
 //	-steps N          override Verlet steps per run (default 400, the paper's setting)
 //	-runs N           override repeated jobs per cell (default: 3, Table I: 7)
 //	-seed N           base seed for all jobs
+//	-jobs N           max experiment cells in flight (default: GOMAXPROCS)
 //	-telemetry FILE   stream telemetry events to FILE as JSON Lines
+//
+// Ctrl-C (or SIGTERM) cancels the run: in-flight cells unwind, queued
+// cells are skipped, any partial report is flushed, and the process
+// exits non-zero.
 //
 // trace flags: -policy, -analyses, -nodes, -dim, -j, -w (see -h).
 // serve flags: -addr, -id, plus the shared flags above (see -h).
@@ -23,10 +28,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"seesaw/internal/bench"
 	"seesaw/internal/core"
@@ -76,15 +85,28 @@ func mustOpenHub(path string) (*telemetry.Hub, func()) {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	// Ctrl-C cancels the context; a second Ctrl-C kills the process
+	// outright (stop() restores default signal handling after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:])
+	stop()
+	os.Exit(code)
+}
+
+// run dispatches the subcommand and returns the process exit code. Kept
+// separate from main so deferred cleanups (telemetry flush) run before
+// os.Exit.
+func run(ctx context.Context, args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	cmd := os.Args[1]
+	cmd := args[0]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	steps := fs.Int("steps", 0, "override Verlet steps per run (0 = experiment default)")
 	runs := fs.Int("runs", 0, "override repeated jobs per cell (0 = experiment default)")
 	seed := fs.Uint64("seed", 1, "base seed")
+	jobs := fs.Int("jobs", 0, "max experiment cells in flight (0 = GOMAXPROCS)")
 	outPath := fs.String("o", "", "write a Markdown report to this file instead of stdout (all only)")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 
@@ -94,111 +116,122 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 	case "run":
-		if len(os.Args) < 3 {
+		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "seesawctl run <id> [flags]")
-			os.Exit(2)
+			return 2
 		}
-		id := os.Args[2]
-		if err := fs.Parse(os.Args[3:]); err != nil {
-			os.Exit(2)
+		id := args[1]
+		if err := fs.Parse(args[2:]); err != nil {
+			return 2
 		}
 		e, ok := bench.Get(id)
 		if !ok {
 			fmt.Fprintln(os.Stderr, bench.UnknownExperimentError(id))
-			os.Exit(1)
+			return 1
 		}
 		hub, closeHub := mustOpenHub(*telPath)
 		defer closeHub()
-		runOne(e, bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Telemetry: hub})
+		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Jobs: *jobs, Telemetry: hub}
+		if err := runOne(ctx, e, o); err != nil {
+			return fail(ctx, err)
+		}
 	case "all":
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
 		}
 		hub, closeHub := mustOpenHub(*telPath)
 		defer closeHub()
-		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Telemetry: hub}
+		o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Jobs: *jobs, Telemetry: hub}
 		if *outPath != "" {
-			if err := writeReport(*outPath, o); err != nil {
-				fmt.Fprintln(os.Stderr, "seesawctl:", err)
-				os.Exit(1)
+			if err := writeReport(ctx, *outPath, o); err != nil {
+				return fail(ctx, err)
 			}
-			return
+			return 0
 		}
 		for _, e := range bench.All() {
-			runOne(e, o)
+			if err := runOne(ctx, e, o); err != nil {
+				return fail(ctx, err)
+			}
 		}
 	case "selftest":
-		if err := fs.Parse(os.Args[2:]); err != nil {
-			os.Exit(2)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 2
 		}
-		ok, err := bench.RunSelfTest(bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed}, os.Stdout)
+		ok, err := bench.RunSelfTest(ctx, bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Jobs: *jobs}, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "seesawctl:", err)
-			os.Exit(1)
+			return fail(ctx, err)
 		}
 		if !ok {
-			os.Exit(1)
+			return 1
 		}
 	case "trace":
-		runTrace(os.Args[2:])
+		return runTrace(ctx, args[1:])
 	case "job":
-		runJob(os.Args[2:])
+		return runJob(ctx, args[1:])
 	case "serve":
-		runServe(os.Args[2:])
+		return runServe(ctx, args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+// fail reports err on stderr and picks the exit code: 130 for an
+// interrupted run (the shell convention for SIGINT), 1 otherwise.
+func fail(ctx context.Context, err error) int {
+	fmt.Fprintln(os.Stderr, "seesawctl:", err)
+	if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+		return 130
+	}
+	return 1
 }
 
 // runJob loads a JSON job description, runs it, and prints the summary
 // (or the full per-synchronization CSV with -csv).
-func runJob(args []string) {
+func runJob(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("job", flag.ExitOnError)
 	csv := fs.Bool("csv", false, "emit the per-synchronization log as CSV")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "seesawctl job [-csv] [-telemetry FILE] <job.json>")
-		os.Exit(2)
+		return 2
 	}
 	j, err := jobfile.LoadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
 	cfg, err := j.Build()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
 	hub, closeHub := mustOpenHub(*telPath)
 	defer closeHub()
 	cfg.Telemetry = hub
-	res, err := cosim.Run(cfg)
+	res, err := cosim.Run(ctx, cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
 	if *csv {
 		if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "seesawctl:", err)
-			os.Exit(1)
+			return fail(ctx, err)
 		}
-		return
+		return 0
 	}
 	last := res.SyncLog.Records[res.SyncLog.Len()-1]
 	fmt.Printf("policy %s on %d nodes: total %.1f s, energy %.1f kJ, mean slack %.2f%%, final caps %.1f/%.1f W\n",
 		cfg.Policy.Name(), cfg.Spec.SimNodes+cfg.Spec.AnaNodes,
 		float64(res.TotalTime), float64(res.TotalEnergy)/1000,
 		res.SyncLog.MeanSlackFrom(10)*100, float64(last.SimCap), float64(last.AnaCap))
+	return 0
 }
 
 // runTrace emits the per-synchronization log of one co-simulated cell as
 // CSV — the raw data behind the Figure 4 and Figure 5 plots.
-func runTrace(args []string) {
+func runTrace(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	policy := fs.String("policy", "seesaw", "static, seesaw, power-aware or time-aware")
 	analyses := fs.String("analyses", "msd", "comma-separated analyses, or 'all'")
@@ -211,7 +244,7 @@ func runTrace(args []string) {
 	seed := fs.Uint64("seed", 1, "job seed")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	hub, closeHub := mustOpenHub(*telPath)
 	defer closeHub()
@@ -225,10 +258,9 @@ func runTrace(args []string) {
 	cons := core.Constraints{Budget: units.Watts(*capPer) * units.Watts(*nodes), MinCap: 98, MaxCap: 215}
 	pol, err := bench.NewPolicy(*policy, cons, *w)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
-	res, err := cosim.Run(cosim.Config{
+	res, err := cosim.Run(ctx, cosim.Config{
 		Spec: workload.Spec{
 			SimNodes: *nodes / 2, AnaNodes: *nodes - *nodes/2,
 			Dim: *dim, J: *j, Steps: *steps, Analyses: tasks,
@@ -242,46 +274,43 @@ func runTrace(args []string) {
 		Telemetry:   hub,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
 	if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return fail(ctx, err)
 	}
 	fmt.Fprintf(os.Stderr, "seesawctl trace: %s on %d nodes, total %.1f s, mean slack %.2f%%\n",
 		*policy, *nodes, float64(res.TotalTime), res.SyncLog.MeanSlackFrom(10)*100)
+	return 0
 }
 
 // writeReport runs every experiment and writes a Markdown document with
-// one fenced section per artifact.
-func writeReport(path string, o bench.Options) error {
+// one fenced section per artifact. On cancellation the partially
+// written report is preserved (bench.WriteReport closes the open fence)
+// and the error is reported to the caller.
+func writeReport(ctx context.Context, path string, o bench.Options) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	fmt.Fprintln(f, "# SeeSAw experiment report")
-	fmt.Fprintln(f)
-	fmt.Fprintf(f, "Options: steps=%d runs=%d seed=%d (0 = experiment defaults)\n", o.Steps, o.Runs, o.BaseSeed)
-	for _, e := range bench.All() {
-		fmt.Fprintf(f, "\n## %s\n\n%s\n\n```\n", e.ID, e.Title)
-		if err := e.Run(o, f); err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+	written := func(id string) { fmt.Fprintf(os.Stderr, "seesawctl: %s done\n", id) }
+	if err := bench.WriteReport(ctx, f, o, written); err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "seesawctl: interrupted; partial report left in %s\n", path)
 		}
-		fmt.Fprintln(f, "```")
-		fmt.Fprintf(os.Stderr, "seesawctl: %s done\n", e.ID)
+		f.Close()
+		return err
 	}
-	return nil
+	return f.Close()
 }
 
-func runOne(e bench.Experiment, o bench.Options) {
+func runOne(ctx context.Context, e bench.Experiment, o bench.Options) error {
 	fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-	if err := e.Run(o, os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "seesawctl: %s: %v\n", e.ID, err)
-		os.Exit(1)
+	if err := e.Run(ctx, o, os.Stdout); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
 	}
 	fmt.Println()
+	return nil
 }
 
 func usage() {
@@ -289,12 +318,16 @@ func usage() {
 
 usage:
   seesawctl list
-  seesawctl run <id> [-steps N] [-runs N] [-seed N] [-telemetry FILE]
-  seesawctl all [-steps N] [-runs N] [-seed N] [-telemetry FILE]
+  seesawctl run <id> [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
+  seesawctl all [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
   seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-telemetry FILE]
   seesawctl job [-csv] [-telemetry FILE] <job.json>
-  seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N]
-  seesawctl selftest [-seed N]     # verify the paper's headline invariants
+  seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N] [-jobs N]
+  seesawctl selftest [-seed N] [-jobs N]   # verify the paper's headline invariants
+
+Experiment cells run concurrently (bounded by -jobs); reports are
+byte-identical at any -jobs value. Ctrl-C cancels cleanly: partial
+output is flushed and the exit status is non-zero.
 
 serve exposes Prometheus metrics at /metrics and a JSON snapshot at
 /debug/telemetry while looping the selected experiment.`)

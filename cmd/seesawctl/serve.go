@@ -1,6 +1,9 @@
 // The serve subcommand: run an experiment in a loop while exposing the
 // telemetry hub over HTTP, so the simulated platform can be watched with
-// the same tooling as a real cluster (Prometheus scrape + curl).
+// the same tooling as a real cluster (Prometheus scrape + curl). The
+// campaign gauges (seesaw_campaign_inflight_cells,
+// seesaw_campaign_cells_total) expose the live campaign state of the
+// looping experiment.
 //
 //	seesawctl serve -addr 127.0.0.1:8077 -id fig4
 //	curl http://127.0.0.1:8077/metrics          # Prometheus text format
@@ -8,34 +11,39 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"seesaw/internal/bench"
 	"seesaw/internal/telemetry"
 )
 
 // runServe loops the selected experiment in the background and serves
-// live telemetry until interrupted.
-func runServe(args []string) {
+// live telemetry until interrupted; Ctrl-C cancels the in-flight lap and
+// shuts the listener down gracefully.
+func runServe(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "HTTP listen address")
 	id := fs.String("id", "fig4", "experiment to loop (see 'seesawctl list')")
 	steps := fs.Int("steps", 0, "override Verlet steps per run (0 = experiment default)")
 	runs := fs.Int("runs", 0, "override repeated jobs per cell (0 = experiment default)")
 	seed := fs.Uint64("seed", 1, "base seed")
+	jobs := fs.Int("jobs", 0, "max experiment cells in flight (0 = GOMAXPROCS)")
 	once := fs.Bool("once", false, "run the experiment once instead of looping (serving continues)")
 	telPath := fs.String("telemetry", "", "additionally stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	e, ok := bench.Get(*id)
 	if !ok {
 		fmt.Fprintln(os.Stderr, bench.UnknownExperimentError(*id))
-		os.Exit(1)
+		return 1
 	}
 
 	var hub *telemetry.Hub
@@ -51,7 +59,7 @@ func runServe(args []string) {
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+		return 1
 	}
 
 	mux := http.NewServeMux()
@@ -68,16 +76,20 @@ func runServe(args []string) {
 		}
 	})
 
-	o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Telemetry: hub}
+	o := bench.Options{Steps: *steps, Runs: *runs, BaseSeed: *seed, Jobs: *jobs, Telemetry: hub}
+	loopDone := make(chan struct{})
 	go func() {
+		defer close(loopDone)
 		for i := 0; ; i++ {
 			// Vary the seed per lap so the metrics keep moving; the first
 			// lap reproduces the artifact exactly as 'seesawctl run' would.
 			lap := o
 			lap.BaseSeed = o.BaseSeed + uint64(i)*1000003
 			fmt.Fprintf(os.Stderr, "seesawctl serve: %s lap %d (seed %d)\n", e.ID, i+1, lap.BaseSeed)
-			if err := e.Run(lap, discard{}); err != nil {
-				fmt.Fprintf(os.Stderr, "seesawctl serve: %s: %v\n", e.ID, err)
+			if err := e.Run(ctx, lap, discard{}); err != nil {
+				if ctx.Err() == nil {
+					fmt.Fprintf(os.Stderr, "seesawctl serve: %s: %v\n", e.ID, err)
+				}
 				return
 			}
 			if *once {
@@ -87,10 +99,29 @@ func runServe(args []string) {
 		}
 	}()
 
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "seesawctl serve: listening on http://%s (/metrics, /debug/telemetry)\n", ln.Addr())
-	if err := http.Serve(ln, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "seesawctl:", err)
-		os.Exit(1)
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "seesawctl:", err)
+			return 1
+		}
+		return 0
+	case <-ctx.Done():
+		// Wait for the experiment loop to unwind its rank goroutines,
+		// then drain in-flight HTTP requests.
+		<-loopDone
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "seesawctl:", err)
+		}
+		fmt.Fprintln(os.Stderr, "seesawctl serve: interrupted")
+		return 130
 	}
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,7 +35,7 @@ func run(msdInterval, window int) (improvement float64) {
 		core.NewStatic(),
 		core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: window}),
 	} {
-		res, err := cosim.Run(cosim.Config{
+		res, err := cosim.Run(context.Background(), cosim.Config{
 			Spec: spec, Policy: policy, Constraints: cons,
 			CapMode: cosim.CapLong, Seed: 21, RunSeed: 22,
 			Noise: machine.DefaultNoise(),

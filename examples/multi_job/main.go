@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -18,7 +19,7 @@ import (
 )
 
 func run(systemAware bool) *sched.Result {
-	res, err := sched.Run(sched.Config{
+	res, err := sched.Run(context.Background(), sched.Config{
 		Jobs: []sched.JobSpec{
 			{Name: "md-large (dim=36, vacf)", PolicyName: "seesaw", Window: 1,
 				Workload: workload.Spec{

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -38,7 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := cosim.Run(cosim.Config{
+		res, err := cosim.Run(context.Background(), cosim.Config{
 			Spec:        spec,
 			Policy:      policy,
 			Constraints: cons,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,7 @@ func main() {
 	}
 
 	run := func(policy core.Policy) *insitu.Result {
-		res, err := insitu.Run(insitu.Config{
+		res, err := insitu.Run(context.Background(), insitu.Config{
 			SimRanks:    simRanks,
 			AnaRanks:    anaRanks,
 			Steps:       steps,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -46,7 +47,7 @@ func main() {
 			core.NewStatic(),
 			core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 2}),
 		} {
-			res, err := cosim.Run(cosim.Config{
+			res, err := cosim.Run(context.Background(), cosim.Config{
 				Spec: spec, Policy: policy, Constraints: cons,
 				InitialSimCap: st.sim, InitialAnaCap: st.ana,
 				CapMode: cosim.CapLong, Seed: 11, RunSeed: 12,

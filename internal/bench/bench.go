@@ -6,9 +6,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+
+	"seesaw/internal/campaign"
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
@@ -30,6 +33,11 @@ type Options struct {
 	// BaseSeed offsets all job seeds, for replicating experiments under
 	// different random draws.
 	BaseSeed uint64
+	// Jobs bounds how many experiment cells run concurrently (0 means
+	// runtime.GOMAXPROCS(0)). Reports are byte-identical at any value:
+	// cells are pure functions of their seeds and results are assembled
+	// in enumeration order.
+	Jobs int
 	// Telemetry, when non-nil, is threaded into every co-simulated job
 	// the experiment runs, collecting its metrics and event stream. Nil
 	// disables instrumentation at no cost.
@@ -57,8 +65,11 @@ type Experiment struct {
 	ID string
 	// Title is the paper artifact's caption summary.
 	Title string
-	// Run executes the experiment and renders its tables to w.
-	Run func(o Options, w io.Writer) error
+	// Run executes the experiment and renders its tables to w. It
+	// enumerates independent cells and executes them on the campaign
+	// engine's worker pool (bounded by Options.Jobs); cancelling ctx
+	// aborts queued and in-flight cells and returns the context error.
+	Run func(ctx context.Context, o Options, w io.Writer) error
 }
 
 var registry = map[string]Experiment{}
@@ -163,7 +174,7 @@ type cell struct {
 }
 
 // runCell executes one job.
-func runCell(c cell) (*cosim.Result, error) {
+func runCell(ctx context.Context, c cell) (*cosim.Result, error) {
 	n := c.spec.SimNodes + c.spec.AnaNodes
 	capPer := c.capPerNode
 	if capPer == 0 {
@@ -182,7 +193,7 @@ func runCell(c cell) (*cosim.Result, error) {
 	if mode == 0 && c.policy != "none" {
 		mode = cosim.CapLong
 	}
-	return cosim.Run(cosim.Config{
+	return cosim.Run(ctx, cosim.Config{
 		Spec:          c.spec,
 		Policy:        pol,
 		Constraints:   cons,
@@ -200,29 +211,109 @@ func runCell(c cell) (*cosim.Result, error) {
 // baseline with identical placement per job (the paper's pairing,
 // Section VII-A) and returns the median % runtime improvement over the
 // static baseline, along with the median policy slack.
-func medianImprovement(c cell, runs int, baseSeed uint64) (impPct float64, slack float64, err error) {
+func medianImprovement(ctx context.Context, c cell, runs int, baseSeed uint64) (impPct float64, slack float64, err error) {
 	imps := make([]float64, 0, runs)
 	slacks := make([]float64, 0, runs)
 	for r := 0; r < runs; r++ {
-		seed := baseSeed + uint64(r)*defaultSeedGap
-		c.jobSeed = seed
-		c.runSeed = seed + 1
-
-		pc := c
-		res, err := runCell(pc)
+		p, err := pairedRun(ctx, c, baseSeed+uint64(r)*defaultSeedGap)
 		if err != nil {
 			return 0, 0, err
 		}
-		sc := c
-		sc.policy = "static"
-		base, err := runCell(sc)
-		if err != nil {
-			return 0, 0, err
-		}
-		imps = append(imps, improvementPct(base.TotalTime, res.TotalTime))
-		slacks = append(slacks, res.SyncLog.MeanSlackFrom(slackFromStep))
+		imps = append(imps, p.imp)
+		slacks = append(slacks, p.slack)
 	}
 	return median(imps), median(slacks), nil
+}
+
+// pairedOut is one paired policy-vs-static repeat.
+type pairedOut struct {
+	imp   float64
+	slack float64
+}
+
+// pairedRun executes one paired comparison: the policy job and the
+// static baseline with identical placement (seed), returning the %
+// improvement and the policy run's mean slack.
+func pairedRun(ctx context.Context, c cell, seed uint64) (pairedOut, error) {
+	c.jobSeed = seed
+	c.runSeed = seed + 1
+	res, err := runCell(ctx, c)
+	if err != nil {
+		return pairedOut{}, err
+	}
+	sc := c
+	sc.policy = "static"
+	base, err := runCell(ctx, sc)
+	if err != nil {
+		return pairedOut{}, err
+	}
+	return pairedOut{
+		imp:   improvementPct(base.TotalTime, res.TotalTime),
+		slack: res.SyncLog.MeanSlackFrom(slackFromStep),
+	}, nil
+}
+
+// enum accumulates one experiment's campaign cells. Experiments run in
+// three phases: enumerate every independent job as a cell (addCell,
+// paired), execute them all on the worker pool (run), then render the
+// tables from the ordered results via the getters addCell returned.
+type enum struct {
+	name  string
+	cells []campaign.Cell
+	res   []campaign.Result
+}
+
+func newEnum(name string) *enum { return &enum{name: name} }
+
+// run executes the enumerated cells with concurrency o.Jobs. After it
+// returns nil, every getter is ready.
+func (e *enum) run(ctx context.Context, o Options) error {
+	rs, err := campaign.Run(ctx, e.cells, campaign.Options{
+		Name:      e.name,
+		Jobs:      o.Jobs,
+		Telemetry: o.Telemetry,
+	})
+	e.res = rs
+	return err
+}
+
+// addCell enumerates one cell computing a T and returns a getter for
+// its value, valid after run succeeds.
+func addCell[T any](e *enum, key string, seed uint64, fn func(ctx context.Context) (T, error)) func() T {
+	idx := len(e.cells)
+	e.cells = append(e.cells, campaign.Cell{
+		Key:  key,
+		Seed: seed,
+		Run:  func(ctx context.Context) (any, error) { return fn(ctx) },
+	})
+	return func() T {
+		if e.res == nil {
+			panic("bench: cell value read before enum.run")
+		}
+		return e.res[idx].Value.(T)
+	}
+}
+
+// paired enumerates one cell per repeat of the paper's paired
+// policy-vs-static comparison and returns a getter for the median
+// improvement and slack across the repeats.
+func (e *enum) paired(keyPrefix string, c cell, runs int, baseSeed uint64) func() (imp, slack float64) {
+	getters := make([]func() pairedOut, runs)
+	for r := 0; r < runs; r++ {
+		seed := baseSeed + uint64(r)*defaultSeedGap
+		getters[r] = addCell(e, fmt.Sprintf("%s/r%d", keyPrefix, r), seed,
+			func(ctx context.Context) (pairedOut, error) { return pairedRun(ctx, c, seed) })
+	}
+	return func() (float64, float64) {
+		imps := make([]float64, runs)
+		slacks := make([]float64, runs)
+		for r, g := range getters {
+			p := g()
+			imps[r] = p.imp
+			slacks[r] = p.slack
+		}
+		return median(imps), median(slacks)
+	}
 }
 
 // improvementPct is (base - x)/base in percent: positive = faster than

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := e.Run(fastOptions(), &buf); err != nil {
+			if err := e.Run(context.Background(), fastOptions(), &buf); err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
 			if buf.Len() < 50 {
@@ -121,7 +122,7 @@ func TestSpecHelpers(t *testing.T) {
 func TestMedianImprovementPairsJobs(t *testing.T) {
 	// The improvement of a policy against itself must be ~0: paired
 	// seeds mean the static baseline shares the job's placement.
-	imp, _, err := medianImprovement(cell{
+	imp, _, err := medianImprovement(context.Background(), cell{
 		spec:   specAt(8, 16, 1, 30, testTasks()),
 		policy: "static",
 	}, 2, 7)
@@ -134,7 +135,7 @@ func TestMedianImprovementPairsJobs(t *testing.T) {
 }
 
 func TestRunCellDefaults(t *testing.T) {
-	res, err := runCell(cell{spec: specAt(8, 16, 1, 20, testTasks()), policy: "seesaw", jobSeed: 1, runSeed: 2})
+	res, err := runCell(context.Background(), cell{spec: specAt(8, 16, 1, 20, testTasks()), policy: "seesaw", jobSeed: 1, runSeed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestConstraintsForBudget(t *testing.T) {
 
 func TestRunSelfTest(t *testing.T) {
 	var buf bytes.Buffer
-	ok, err := RunSelfTest(Options{BaseSeed: 1}, &buf)
+	ok, err := RunSelfTest(context.Background(), Options{BaseSeed: 1}, &buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,18 +38,22 @@ func init() {
 // runFig1 reproduces the Figure 1 trace: an uncapped LAMMPS+RDF job where
 // the analysis idles at ~105 W waiting to synchronize with the
 // simulation each step.
-func runFig1(o Options, w io.Writer) error {
-	res, err := cosim.Run(cosim.Config{
-		Spec:          spec128(defaultDim, 1, o.steps(40), workload.Tasks("rdf")),
-		CapMode:       cosim.CapNone,
-		Seed:          o.BaseSeed + 1,
-		Noise:         machine.DefaultNoise(),
-		TraceSegments: true,
-		Telemetry:     o.Telemetry,
+func runFig1(ctx context.Context, o Options, w io.Writer) error {
+	e := newEnum("fig1")
+	getRes := addCell(e, "trace", o.BaseSeed+1, func(ctx context.Context) (*cosim.Result, error) {
+		return cosim.Run(ctx, cosim.Config{
+			Spec:          spec128(defaultDim, 1, o.steps(40), workload.Tasks("rdf")),
+			CapMode:       cosim.CapNone,
+			Seed:          o.BaseSeed + 1,
+			Noise:         machine.DefaultNoise(),
+			TraceSegments: true,
+			Telemetry:     o.Telemetry,
+		})
 	})
-	if err != nil {
+	if err := e.run(ctx, o); err != nil {
 		return err
 	}
+	res := getRes()
 	const period = 0.2 // the paper samples power every 200 ms
 	sim := cosim.SampleSegments(res.SimSegments, period)
 	ana := cosim.SampleSegments(res.AnaSegments, period)
@@ -99,8 +104,11 @@ func idleFraction(ss []trace.Sample, threshold float64) float64 {
 
 // runFig2 computes the paper's illustration: blue task 90 W/100 s, red
 // task 120 W/60 s under a 210 W budget; the energy-proportional split
-// equalizes both at ~77 s.
-func runFig2(o Options, w io.Writer) error {
+// equalizes both at ~77 s. Pure arithmetic: no cells to enumerate.
+func runFig2(ctx context.Context, o Options, w io.Writer) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	const (
 		budget = units.Watts(210)
 		blueP  = units.Watts(90)
@@ -124,8 +132,9 @@ func runFig2(o Options, w io.Writer) error {
 }
 
 // runTable1 measures run-to-run and job-to-job variability under the
-// three cap types of Table I.
-func runTable1(o Options, w io.Writer) error {
+// three cap types of Table I. Every (cap type, dim, kind, repeat) is one
+// independent cell returning that run's total time.
+func runTable1(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(table1Runs)
 	steps := o.steps(defaultSteps)
 
@@ -140,50 +149,67 @@ func runTable1(o Options, w io.Writer) error {
 	}
 	dims := []int{defaultMidDim, defaultBigDim}
 
-	tbl := trace.NewTable("Table I: variability across runs (128 nodes, LAMMPS+all analyses)",
-		"Power Cap", "dim", "Variability Type", "Variability %")
+	timeCell := func(e *enum, key string, spec workload.Spec, mode cosim.CapMode, seed, runSeed uint64) func() float64 {
+		return addCell(e, key, seed, func(ctx context.Context) (float64, error) {
+			res, err := cosim.Run(ctx, cosim.Config{
+				Spec: spec, CapMode: mode,
+				Constraints: constraintsFor(2*nodes128Half, defaultCap),
+				Seed:        seed,
+				RunSeed:     runSeed,
+				Noise:       machine.DefaultNoise(),
+				Telemetry:   o.Telemetry,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return float64(res.TotalTime), nil
+		})
+	}
 
+	// Enumerate the full matrix, keeping getters grouped per table row.
+	type rowSpec struct {
+		label   string
+		dim     int
+		kind    string
+		getters []func() float64
+	}
+	e := newEnum("table1")
+	var rows []rowSpec
 	for _, ct := range capTypes {
 		for _, dim := range dims {
 			spec := spec128(dim, 1, steps, workload.AllAnalysesForDim(dim))
 
 			// Run-to-run: same job (same node skews), varying jitter.
-			var runTimes []float64
+			rr := rowSpec{label: ct.label, dim: dim, kind: "run-to-run"}
 			for r := 0; r < runs; r++ {
-				res, err := cosim.Run(cosim.Config{
-					Spec: spec, CapMode: ct.mode,
-					Constraints: constraintsFor(2*nodes128Half, defaultCap),
-					Seed:        o.BaseSeed + 11,
-					RunSeed:     o.BaseSeed + 100 + uint64(r)*defaultSeedGap,
-					Noise:       machine.DefaultNoise(),
-					Telemetry:   o.Telemetry,
-				})
-				if err != nil {
-					return err
-				}
-				runTimes = append(runTimes, float64(res.TotalTime))
+				key := fmt.Sprintf("%s/dim%d/run-to-run/r%d", ct.label, dim, r)
+				rr.getters = append(rr.getters, timeCell(e, key, spec, ct.mode,
+					o.BaseSeed+11, o.BaseSeed+100+uint64(r)*defaultSeedGap))
 			}
-			tbl.AddRow(ct.label, dim, "run-to-run", stats.VariabilityPct(runTimes))
+			rows = append(rows, rr)
 
 			// Job-to-job: fresh node allocation per job.
-			var jobTimes []float64
+			jj := rowSpec{label: ct.label, dim: dim, kind: "job-to-job"}
 			for r := 0; r < runs; r++ {
 				seed := o.BaseSeed + 500 + uint64(r)*defaultSeedGap
-				res, err := cosim.Run(cosim.Config{
-					Spec: spec, CapMode: ct.mode,
-					Constraints: constraintsFor(2*nodes128Half, defaultCap),
-					Seed:        seed,
-					RunSeed:     seed + 1,
-					Noise:       machine.DefaultNoise(),
-					Telemetry:   o.Telemetry,
-				})
-				if err != nil {
-					return err
-				}
-				jobTimes = append(jobTimes, float64(res.TotalTime))
+				key := fmt.Sprintf("%s/dim%d/job-to-job/r%d", ct.label, dim, r)
+				jj.getters = append(jj.getters, timeCell(e, key, spec, ct.mode, seed, seed+1))
 			}
-			tbl.AddRow(ct.label, dim, "job-to-job", stats.VariabilityPct(jobTimes))
+			rows = append(rows, jj)
 		}
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	tbl := trace.NewTable("Table I: variability across runs (128 nodes, LAMMPS+all analyses)",
+		"Power Cap", "dim", "Variability Type", "Variability %")
+	for _, row := range rows {
+		times := make([]float64, len(row.getters))
+		for i, g := range row.getters {
+			times[i] = g()
+		}
+		tbl.AddRow(row.label, row.dim, row.kind, stats.VariabilityPct(times))
 	}
 	return tbl.Render(w)
 }

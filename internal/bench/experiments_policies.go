@@ -3,9 +3,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"seesaw/internal/cosim"
 	"seesaw/internal/trace"
 	"seesaw/internal/workload"
 )
@@ -53,22 +55,32 @@ func fig3aCases() []analysisCase {
 	}
 }
 
-func runFig3a(o Options, w io.Writer) error {
+func runFig3a(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(defaultRuns)
 	steps := o.steps(defaultSteps)
 
-	tbl := trace.NewTable("Fig 3a: % runtime improvement over static baseline (negative = slowdown)",
-		append([]string{"analysis (dim)"}, PolicyNames()...)...)
+	e := newEnum("fig3a")
+	var getters [][]func() (float64, float64) // [case][policy]
 	for _, cs := range fig3aCases() {
-		row := []any{fmt.Sprintf("%s (dim=%d)", cs.label, cs.dim)}
+		var row []func() (float64, float64)
 		for _, p := range PolicyNames() {
-			imp, _, err := medianImprovement(cell{
+			row = append(row, e.paired(fmt.Sprintf("%s/%s", cs.label, p), cell{
 				spec:   spec128(cs.dim, 1, steps, cs.analyses),
 				policy: p, window: 1, telemetry: o.Telemetry,
-			}, runs, o.BaseSeed+31)
-			if err != nil {
-				return err
-			}
+			}, runs, o.BaseSeed+31))
+		}
+		getters = append(getters, row)
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	tbl := trace.NewTable("Fig 3a: % runtime improvement over static baseline (negative = slowdown)",
+		append([]string{"analysis (dim)"}, PolicyNames()...)...)
+	for i, cs := range fig3aCases() {
+		row := []any{fmt.Sprintf("%s (dim=%d)", cs.label, cs.dim)}
+		for _, g := range getters[i] {
+			imp, _ := g()
 			row = append(row, fmt.Sprintf("%+.2f%%", imp))
 		}
 		tbl.AddRow(row...)
@@ -76,7 +88,7 @@ func runFig3a(o Options, w io.Writer) error {
 	return tbl.Render(w)
 }
 
-func runFig3b(o Options, w io.Writer) error {
+func runFig3b(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(defaultRuns)
 	steps := o.steps(defaultSteps)
 
@@ -87,22 +99,36 @@ func runFig3b(o Options, w io.Writer) error {
 	}
 	scales := []int{256, 512, 1024}
 
+	e := newEnum("fig3b")
+	var getters [][]func() (float64, float64) // [case*scale][policy]
+	for _, cs := range cases {
+		for _, n := range scales {
+			var row []func() (float64, float64)
+			for _, p := range PolicyNames() {
+				row = append(row, e.paired(fmt.Sprintf("%s/n%d/%s", cs.label, n, p), cell{
+					spec:   specAt(n, cs.dim, 1, steps, cs.analyses),
+					policy: p, window: 1, telemetry: o.Telemetry,
+				}, runs, o.BaseSeed+37))
+			}
+			getters = append(getters, row)
+		}
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
 	tbl := trace.NewTable("Fig 3b: % runtime improvement over static baseline at scale",
 		append([]string{"workload", "nodes"}, PolicyNames()...)...)
+	i := 0
 	for _, cs := range cases {
 		for _, n := range scales {
 			row := []any{fmt.Sprintf("%s (dim=%d)", cs.label, cs.dim), n}
-			for _, p := range PolicyNames() {
-				imp, _, err := medianImprovement(cell{
-					spec:   specAt(n, cs.dim, 1, steps, cs.analyses),
-					policy: p, window: 1, telemetry: o.Telemetry,
-				}, runs, o.BaseSeed+37)
-				if err != nil {
-					return err
-				}
+			for _, g := range getters[i] {
+				imp, _ := g()
 				row = append(row, fmt.Sprintf("%+.2f%%", imp))
 			}
 			tbl.AddRow(row...)
+			i++
 		}
 	}
 	return tbl.Render(w)
@@ -111,16 +137,29 @@ func runFig3b(o Options, w io.Writer) error {
 // runFig4 shows the per-synchronization dynamics of the three policies
 // on LAMMPS+MSD at 128 nodes, plus the baseline's first-10-sync profile
 // (sub-figures d and e).
-func runFig4(o Options, w io.Writer) error {
+func runFig4(ctx context.Context, o Options, w io.Writer) error {
 	steps := o.steps(defaultSteps)
 	spec := spec128(defaultDim, 1, steps, workload.Tasks("msd"))
 
-	for _, p := range []string{"seesaw", "time-aware", "power-aware"} {
-		res, err := runCell(cell{spec: spec, policy: p, window: 1,
-			jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42, telemetry: o.Telemetry})
-		if err != nil {
-			return err
-		}
+	policies := []string{"seesaw", "time-aware", "power-aware"}
+	e := newEnum("fig4")
+	resCell := func(p string) func() *cosim.Result {
+		return addCell(e, p, o.BaseSeed+41, func(ctx context.Context) (*cosim.Result, error) {
+			return runCell(ctx, cell{spec: spec, policy: p, window: 1,
+				jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42, telemetry: o.Telemetry})
+		})
+	}
+	var getters []func() *cosim.Result
+	for _, p := range policies {
+		getters = append(getters, resCell(p))
+	}
+	getBase := resCell("static")
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	for i, p := range policies {
+		res := getters[i]()
 		tbl := trace.NewTable(
 			fmt.Sprintf("Fig 4 (%s): power allocated per node at each synchronization", p),
 			"step", "sim cap (W)", "ana cap (W)", "sim measured (W)", "ana measured (W)", "slack")
@@ -141,11 +180,7 @@ func runFig4(o Options, w io.Writer) error {
 
 	// Sub-figures d/e: baseline time and power of the first 10
 	// synchronizations without power management.
-	base, err := runCell(cell{spec: spec, policy: "static",
-		jobSeed: o.BaseSeed + 41, runSeed: o.BaseSeed + 42, telemetry: o.Telemetry})
-	if err != nil {
-		return err
-	}
+	base := getBase()
 	tbl := trace.NewTable("Fig 4d/e: baseline time and power between the first 10 synchronizations (110 W per node)",
 		"step", "sim time (s)", "ana time (s)", "sim power (W)", "ana power (W)")
 	for i, r := range base.SyncLog.Records {
@@ -159,16 +194,26 @@ func runFig4(o Options, w io.Writer) error {
 
 // runFig5 contrasts allocated and measured power at 1024 nodes for
 // SeeSAw and the time-aware approach with all analyses.
-func runFig5(o Options, w io.Writer) error {
+func runFig5(ctx context.Context, o Options, w io.Writer) error {
 	steps := o.steps(defaultSteps)
 	spec := specAt(2*nodes1024Half, defaultDim, 1, steps, workload.AllAnalyses())
 
-	for _, p := range []string{"seesaw", "time-aware"} {
-		res, err := runCell(cell{spec: spec, policy: p, window: 1,
-			jobSeed: o.BaseSeed + 51, runSeed: o.BaseSeed + 52, telemetry: o.Telemetry})
-		if err != nil {
-			return err
-		}
+	policies := []string{"seesaw", "time-aware"}
+	e := newEnum("fig5")
+	var getters []func() *cosim.Result
+	for _, p := range policies {
+		p := p
+		getters = append(getters, addCell(e, p, o.BaseSeed+51, func(ctx context.Context) (*cosim.Result, error) {
+			return runCell(ctx, cell{spec: spec, policy: p, window: 1,
+				jobSeed: o.BaseSeed + 51, runSeed: o.BaseSeed + 52, telemetry: o.Telemetry})
+		}))
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	for i, p := range policies {
+		res := getters[i]()
 		tbl := trace.NewTable(
 			fmt.Sprintf("Fig 5 (%s): allocated vs measured power per node at 1024 nodes", p),
 			"step", "sim alloc (W)", "sim measured (W)", "ana alloc (W)", "ana measured (W)", "slack")

@@ -3,9 +3,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
+	"seesaw/internal/cosim"
 	"seesaw/internal/machine"
 	"seesaw/internal/rapl"
 	"seesaw/internal/stats"
@@ -49,7 +51,7 @@ func init() {
 
 // runFig6 sweeps the power-reallocation window w and the synchronization
 // rate j at 1024 nodes.
-func runFig6(o Options, w io.Writer) error {
+func runFig6(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(1)
 	steps := o.steps(defaultSteps)
 	windows := []int{1, 2, 5, 10, 20}
@@ -59,21 +61,31 @@ func runFig6(o Options, w io.Writer) error {
 	// memory limits it to dim=16, Section VII-B).
 	analyses := workload.Tasks("rdf", "msd1d", "msd2d", "vacf")
 
+	e := newEnum("fig6")
+	var getters [][]func() (float64, float64) // [window][j]
+	for _, win := range windows {
+		var row []func() (float64, float64)
+		for _, j := range js {
+			row = append(row, e.paired(fmt.Sprintf("w%d/j%d", win, j), cell{
+				spec:   specAt(2*nodes1024Half, defaultBigDim, j, steps, analyses),
+				policy: "seesaw", window: win, telemetry: o.Telemetry,
+			}, runs, o.BaseSeed+61))
+		}
+		getters = append(getters, row)
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
 	headers := []string{"w \\ j"}
 	for _, j := range js {
 		headers = append(headers, fmt.Sprintf("j=%d", j))
 	}
 	tbl := trace.NewTable("Fig 6: SeeSAw % improvement over static baseline", headers...)
-	for _, win := range windows {
+	for i, win := range windows {
 		row := []any{fmt.Sprintf("w=%d", win)}
-		for _, j := range js {
-			imp, _, err := medianImprovement(cell{
-				spec:   specAt(2*nodes1024Half, defaultBigDim, j, steps, analyses),
-				policy: "seesaw", window: win, telemetry: o.Telemetry,
-			}, runs, o.BaseSeed+61)
-			if err != nil {
-				return err
-			}
+		for _, g := range getters[i] {
+			imp, _ := g()
 			row = append(row, fmt.Sprintf("%+.2f%%", imp))
 		}
 		tbl.AddRow(row...)
@@ -83,16 +95,16 @@ func runFig6(o Options, w io.Writer) error {
 
 // runTable2 varies the interval of one analysis while the others
 // synchronize at every step.
-func runTable2(o Options, w io.Writer) error {
+func runTable2(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(defaultRuns)
 	steps := o.steps(defaultSteps)
 	intervals := []int{4, 20, 100}
+	varieds := []string{"msd", "vacf"}
 
-	tbl := trace.NewTable("Table II: SeeSAw % improvement over static with mixed analysis intervals",
-		"varied analysis", "j=4", "j=20", "j=100")
-
-	for _, varied := range []string{"msd", "vacf"} {
-		row := []any{varied}
+	e := newEnum("table2")
+	var getters [][]func() (float64, float64) // [varied][interval]
+	for _, varied := range varieds {
+		var row []func() (float64, float64)
 		for _, j := range intervals {
 			tasks := []workload.AnalysisTask{
 				{Name: "rdf", Interval: 1},
@@ -104,13 +116,23 @@ func runTable2(o Options, w io.Writer) error {
 					tasks[i].Interval = j
 				}
 			}
-			imp, _, err := medianImprovement(cell{
+			row = append(row, e.paired(fmt.Sprintf("%s/j%d", varied, j), cell{
 				spec:   spec128(defaultDim, 1, steps, tasks),
 				policy: "seesaw", window: 1, telemetry: o.Telemetry,
-			}, runs, o.BaseSeed+71)
-			if err != nil {
-				return err
-			}
+			}, runs, o.BaseSeed+71))
+		}
+		getters = append(getters, row)
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	tbl := trace.NewTable("Table II: SeeSAw % improvement over static with mixed analysis intervals",
+		"varied analysis", "j=4", "j=20", "j=100")
+	for i, varied := range varieds {
+		row := []any{varied}
+		for _, g := range getters[i] {
+			imp, _ := g()
 			row = append(row, fmt.Sprintf("%+.2f%%", imp))
 		}
 		tbl.AddRow(row...)
@@ -124,7 +146,7 @@ func runTable2(o Options, w io.Writer) error {
 
 // runFig7 starts simulation and analysis at different initial caps and
 // measures SeeSAw's improvement over keeping that distribution static.
-func runFig7(o Options, w io.Writer) error {
+func runFig7(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(defaultRuns)
 	steps := o.steps(defaultSteps)
 	spec := spec128(defaultMidDim, 1, steps, workload.AllAnalysesForDim(defaultMidDim))
@@ -137,19 +159,25 @@ func runFig7(o Options, w io.Writer) error {
 		{"analysis starts with more (S=100, A=120)", 100, 120},
 		{"equal start (S=110, A=110)", 110, 110},
 	}
-	tbl := trace.NewTable("Fig 7: SeeSAw % improvement over the static initial distribution (w=2)",
-		"initial distribution", "improvement", "paper")
-	paperVals := []string{"28.26%", "19.21%", "8.94%"}
-	for i, st := range starts {
-		imp, _, err := medianImprovement(cell{
+	e := newEnum("fig7")
+	var getters []func() (float64, float64)
+	for _, st := range starts {
+		getters = append(getters, e.paired(fmt.Sprintf("S%.0f-A%.0f", float64(st.sim), float64(st.ana)), cell{
 			spec:   spec,
 			policy: "seesaw", window: 2,
 			simStart: st.sim, anaStart: st.ana,
 			telemetry: o.Telemetry,
-		}, runs, o.BaseSeed+81)
-		if err != nil {
-			return err
-		}
+		}, runs, o.BaseSeed+81))
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	tbl := trace.NewTable("Fig 7: SeeSAw % improvement over the static initial distribution (w=2)",
+		"initial distribution", "improvement", "paper")
+	paperVals := []string{"28.26%", "19.21%", "8.94%"}
+	for i, st := range starts {
+		imp, _ := getters[i]()
 		tbl.AddRow(st.label, fmt.Sprintf("%+.2f%%", imp), paperVals[i])
 	}
 	return tbl.Render(w)
@@ -158,25 +186,31 @@ func runFig7(o Options, w io.Writer) error {
 // runFig8 sweeps the per-node power budget: SeeSAw helps most at tight
 // caps; beyond ~140 W per node LAMMPS cannot use more power and the
 // improvement evaporates.
-func runFig8(o Options, w io.Writer) error {
+func runFig8(ctx context.Context, o Options, w io.Writer) error {
 	runs := o.runs(defaultRuns)
 	steps := o.steps(defaultSteps)
 	spec := spec128(defaultDim, 1, steps, workload.AllAnalyses())
 	caps := []units.Watts{98, 105, 110, 115, 120, 130, 140, 150, 160}
 
-	tbl := trace.NewTable("Fig 8: SeeSAw % improvement over static across per-node power caps",
-		"cap per node (W)", "improvement")
+	e := newEnum("fig8")
+	var getters []func() (float64, float64)
 	for _, c := range caps {
-		imp, _, err := medianImprovement(cell{
+		getters = append(getters, e.paired(fmt.Sprintf("cap%.0f", float64(c)), cell{
 			spec:       spec,
 			policy:     "seesaw",
 			window:     1,
 			capPerNode: c,
 			telemetry:  o.Telemetry,
-		}, runs, o.BaseSeed+91)
-		if err != nil {
-			return err
-		}
+		}, runs, o.BaseSeed+91))
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
+	tbl := trace.NewTable("Fig 8: SeeSAw % improvement over static across per-node power caps",
+		"cap per node (W)", "improvement")
+	for i, c := range caps {
+		imp, _ := getters[i]()
 		tbl.AddRow(c, fmt.Sprintf("%+.2f%%", imp))
 	}
 	return tbl.Render(w)
@@ -184,20 +218,32 @@ func runFig8(o Options, w io.Writer) error {
 
 // runFig9a reports the allocator overhead relative to the
 // synchronization interval at 128 and 1024 nodes.
-func runFig9a(o Options, w io.Writer) error {
+func runFig9a(ctx context.Context, o Options, w io.Writer) error {
 	steps := o.steps(defaultSteps)
+	scales := []int{2 * nodes128Half, 2 * nodes1024Half}
+
+	e := newEnum("fig9a")
+	var getters []func() *cosim.Result
+	for _, n := range scales {
+		n := n
+		getters = append(getters, addCell(e, fmt.Sprintf("n%d", n), o.BaseSeed+95,
+			func(ctx context.Context) (*cosim.Result, error) {
+				return runCell(ctx, cell{
+					spec:   specAt(n, defaultBigDim, 1, steps, workload.AllAnalysesForDim(defaultBigDim)),
+					policy: "seesaw", window: 1,
+					jobSeed: o.BaseSeed + 95, runSeed: o.BaseSeed + 96,
+					telemetry: o.Telemetry,
+				})
+			}))
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
 	tbl := trace.NewTable("Fig 9a: SeeSAw overhead per synchronization (dim=48, all analyses, w=1, j=1)",
 		"nodes", "overhead per sync", "mean interval (s)", "overhead %")
-	for _, n := range []int{2 * nodes128Half, 2 * nodes1024Half} {
-		res, err := runCell(cell{
-			spec:   specAt(n, defaultBigDim, 1, steps, workload.AllAnalysesForDim(defaultBigDim)),
-			policy: "seesaw", window: 1,
-			jobSeed: o.BaseSeed + 95, runSeed: o.BaseSeed + 96,
-			telemetry: o.Telemetry,
-		})
-		if err != nil {
-			return err
-		}
+	for i, n := range scales {
+		res := getters[i]()
 		meanInterval := float64(res.TotalTime) / float64(len(res.SyncLog.Records))
 		ovh := float64(res.OverheadPerSync)
 		tbl.AddRow(n, fmt.Sprintf("%.1f us", ovh*1e6), meanInterval,
@@ -212,8 +258,10 @@ func runFig9a(o Options, w io.Writer) error {
 
 // runFig9b measures the standalone duration of one SeeSAw allocation on
 // a node running at different power caps (the allocator itself slows
-// down on a throttled CPU), averaged over a loop of 10 iterations.
-func runFig9b(o Options, w io.Writer) error {
+// down on a throttled CPU), averaged over a loop of 10 iterations. Each
+// cap is one cell; the node is constructed inside the cell, so cells
+// share no state.
+func runFig9b(ctx context.Context, o Options, w io.Writer) error {
 	caps := []units.Watts{98, 110, 120, 140, 215}
 	// The allocator's local compute: a short scalar phase on the
 	// monitoring rank's CPU.
@@ -224,19 +272,32 @@ func runFig9b(o Options, w io.Writer) error {
 		Saturation:  130,
 		Sensitivity: 0.8,
 	}
+	e := newEnum("fig9b")
+	var getters []func() float64
+	for _, c := range caps {
+		c := c
+		getters = append(getters, addCell(e, fmt.Sprintf("cap%.0f", float64(c)), o.BaseSeed+98,
+			func(ctx context.Context) (float64, error) {
+				node := machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.DefaultNoise(), o.BaseSeed+98)
+				node.RAPL().SetLongCap(c)
+				// Warm the domain past the actuation latency.
+				node.Idle(0.02)
+				var durs []float64
+				for i := 0; i < 10; i++ {
+					exec := node.Run(allocPhase, machine.DefaultNoise())
+					durs = append(durs, float64(exec.Duration)*1e6)
+				}
+				return stats.Mean(durs), nil
+			}))
+	}
+	if err := e.run(ctx, o); err != nil {
+		return err
+	}
+
 	tbl := trace.NewTable("Fig 9b: average standalone SeeSAw duration over 10 iterations",
 		"cap per node (W)", "avg duration (us)")
-	for _, c := range caps {
-		node := machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.DefaultNoise(), o.BaseSeed+98)
-		node.RAPL().SetLongCap(c)
-		// Warm the domain past the actuation latency.
-		node.Idle(0.02)
-		var durs []float64
-		for i := 0; i < 10; i++ {
-			exec := node.Run(allocPhase, machine.DefaultNoise())
-			durs = append(durs, float64(exec.Duration)*1e6)
-		}
-		tbl.AddRow(c, fmt.Sprintf("%.1f", stats.Mean(durs)))
+	for i, c := range caps {
+		tbl.AddRow(c, fmt.Sprintf("%.1f", getters[i]()))
 	}
 	if err := tbl.Render(w); err != nil {
 		return err

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestReportByteIdenticalAcrossJobs is the determinism gate for the
+// campaign engine: the full report, generated once sequentially and once
+// on an 8-worker pool, must be byte-identical. Cells are pure functions
+// of their seeds and results are assembled in enumeration order, so no
+// scheduling artifact may leak into the output.
+func TestReportByteIdenticalAcrossJobs(t *testing.T) {
+	render := func(jobs int) []byte {
+		t.Helper()
+		o := fastOptions()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := WriteReport(context.Background(), &buf, o, nil); err != nil {
+			t.Fatalf("WriteReport(jobs=%d): %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		line := 1
+		for i := 0; i < len(seq) && i < len(par); i++ {
+			if seq[i] != par[i] {
+				t.Fatalf("reports diverge at byte %d (line %d): jobs=1 has %q, jobs=8 has %q",
+					i, line, excerpt(seq, i), excerpt(par, i))
+			}
+			if seq[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("report lengths differ: jobs=1 %d bytes, jobs=8 %d bytes", len(seq), len(par))
+	}
+	if len(seq) < 1000 {
+		t.Errorf("full report suspiciously small: %d bytes", len(seq))
+	}
+}
+
+func excerpt(b []byte, at int) string {
+	end := at + 40
+	if end > len(b) {
+		end = len(b)
+	}
+	return string(b[at:end])
+}
+
+// TestWriteReportCancelled: a dead context yields an error and a partial
+// document whose last code fence is still closed (valid Markdown).
+func TestWriteReportCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var buf bytes.Buffer
+	err := WriteReport(ctx, &buf, fastOptions(), nil)
+	if err == nil {
+		t.Fatal("WriteReport on a cancelled context succeeded")
+	}
+	out := buf.String()
+	if strings.Count(out, "```")%2 != 0 {
+		t.Errorf("partial report leaves an unclosed code fence:\n%s", out)
+	}
+}
+
+func TestOptionsStepsRunsOverrides(t *testing.T) {
+	var o Options
+	if got := o.steps(400); got != 400 {
+		t.Errorf("zero Steps: steps(400) = %d, want the default", got)
+	}
+	if got := o.runs(7); got != 7 {
+		t.Errorf("zero Runs: runs(7) = %d, want the default", got)
+	}
+	o = Options{Steps: 25, Runs: 2}
+	if got := o.steps(400); got != 25 {
+		t.Errorf("steps(400) = %d, want the 25 override", got)
+	}
+	if got := o.runs(7); got != 2 {
+		t.Errorf("runs(7) = %d, want the 2 override", got)
+	}
+}
+
+func TestUnknownExperimentErrorListsIDs(t *testing.T) {
+	err := UnknownExperimentError("fig99")
+	if err == nil {
+		t.Fatal("nil error for unknown id")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"fig99"`) {
+		t.Errorf("error does not name the bad id: %s", msg)
+	}
+	// Every real id must be offered as a suggestion.
+	for _, id := range IDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list %s: %s", id, msg)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"seesaw/internal/units"
@@ -15,7 +16,7 @@ const headlineSteps = 150
 
 func improvementOf(t *testing.T, policy string, spec workload.Spec, w int, seed uint64) float64 {
 	t.Helper()
-	imp, _, err := medianImprovement(cell{spec: spec, policy: policy, window: w}, 1, seed)
+	imp, _, err := medianImprovement(context.Background(), cell{spec: spec, policy: policy, window: w}, 1, seed)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestHeadlineFig8Shape(t *testing.T) {
 	// below the peak region (110-120 W), and the 98 W floor gives ~0.
 	spec := spec128(defaultDim, 1, headlineSteps, workload.AllAnalyses())
 	at := func(cap float64) float64 {
-		imp, _, err := medianImprovement(cell{spec: spec, policy: "seesaw", window: 1,
+		imp, _, err := medianImprovement(context.Background(), cell{spec: spec, policy: "seesaw", window: 1,
 			capPerNode: units.Watts(cap)}, 1, 1011)
 		if err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -22,7 +23,7 @@ type SelfTestResult struct {
 
 // RunSelfTest executes every headline check, streaming results to w, and
 // reports whether all passed.
-func RunSelfTest(o Options, w io.Writer) (bool, error) {
+func RunSelfTest(ctx context.Context, o Options, w io.Writer) (bool, error) {
 	steps := o.steps(150)
 	type check struct {
 		name string
@@ -30,7 +31,7 @@ func RunSelfTest(o Options, w io.Writer) (bool, error) {
 	}
 
 	imp := func(policy string, spec workload.Spec, seed uint64) (float64, error) {
-		v, _, err := medianImprovement(cell{spec: spec, policy: policy, window: 1}, 1, seed)
+		v, _, err := medianImprovement(ctx, cell{spec: spec, policy: policy, window: 1}, 1, seed)
 		return v, err
 	}
 
@@ -98,7 +99,7 @@ func RunSelfTest(o Options, w io.Writer) (bool, error) {
 		{"diminishing returns past ~140 W (fig 8 shape)", func() (SelfTestResult, error) {
 			spec := spec128(defaultDim, 1, steps, workload.AllAnalyses())
 			at := func(c units.Watts) (float64, error) {
-				v, _, err := medianImprovement(cell{spec: spec, policy: "seesaw", window: 1, capPerNode: c},
+				v, _, err := medianImprovement(ctx, cell{spec: spec, policy: "seesaw", window: 1, capPerNode: c},
 					1, o.BaseSeed+1011)
 				return v, err
 			}

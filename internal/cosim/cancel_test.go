@@ -1,0 +1,31 @@
+package cosim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunCancelled: a dead context aborts the interval loop with
+// ctx.Err() and no partial result.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned a partial result")
+	}
+}
+
+// TestOracleCancelled: the static-split sweep honors cancellation too.
+func TestOracleCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := FindBestStaticSplit(ctx, Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1}, 10)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

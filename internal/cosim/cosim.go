@@ -22,6 +22,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 
 	"seesaw/internal/core"
@@ -152,8 +153,13 @@ type Result struct {
 	FinalCaps []units.Watts
 }
 
-// Run executes the co-simulation.
-func Run(cfg Config) (*Result, error) {
+// Run executes the co-simulation. The context is checked at every
+// synchronization interval: cancelling it makes Run return ctx.Err()
+// promptly with no partial Result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -231,6 +237,9 @@ func Run(cfg Config) (*Result, error) {
 
 	prevStep := 0
 	for syncIdx, iv := range schedule {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		step, syncing := iv.step, iv.sync
 
 		simPhases := spec.SimIntervalIdx(prevStep, step, syncIdx)

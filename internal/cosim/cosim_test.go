@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -19,11 +20,11 @@ func smallCons() core.Constraints {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Config{}); err == nil {
+	if _, err := Run(context.Background(), Config{}); err == nil {
 		t.Error("empty config should fail")
 	}
 	// Budget below min caps.
-	_, err := Run(Config{Spec: smallSpec(), CapMode: CapLong,
+	_, err := Run(context.Background(), Config{Spec: smallSpec(), CapMode: CapLong,
 		Constraints: core.Constraints{Budget: 10, MinCap: 98, MaxCap: 215}})
 	if err == nil {
 		t.Error("infeasible budget should fail")
@@ -31,7 +32,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestStaticRunBasics(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +56,11 @@ func TestStaticRunBasics(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
 		Seed: 7, RunSeed: 8, Noise: machine.DefaultNoise()}
-	a, err := Run(cfg)
+	a, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(cfg)
+	b, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,16 +72,16 @@ func TestDeterminism(t *testing.T) {
 func TestRunSeedChangesOutcome(t *testing.T) {
 	base := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
 		Seed: 7, Noise: machine.DefaultNoise()}
-	a, _ := Run(base)
+	a, _ := Run(context.Background(), base)
 	base.RunSeed = 99
-	b, _ := Run(base)
+	b, _ := Run(context.Background(), base)
 	if a.TotalTime == b.TotalTime {
 		t.Error("different run seeds should perturb the runtime")
 	}
 }
 
 func TestCapNone(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), CapMode: CapNone, Seed: 1})
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), CapMode: CapNone, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestCapNone(t *testing.T) {
 		}
 	}
 	// Uncapped must be faster than a 110 W capped run.
-	capped, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
+	capped, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestCapNone(t *testing.T) {
 }
 
 func TestCapLongShortSlower(t *testing.T) {
-	long, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 2})
+	long, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	dual, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLongShort, Seed: 2})
+	dual, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLongShort, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestCapLongShortSlower(t *testing.T) {
 
 func TestSeeSAwCapsConserveBudget(t *testing.T) {
 	ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: smallCons(), Window: 1})
-	res, err := Run(Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
 		CapMode: CapLong, Seed: 3, Noise: machine.DefaultNoise()})
 	if err != nil {
 		t.Fatal(err)
@@ -134,7 +135,7 @@ func TestSeeSAwCapsConserveBudget(t *testing.T) {
 }
 
 func TestSlackBounds(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 4,
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 4,
 		Noise: machine.DefaultNoise()})
 	if err != nil {
 		t.Fatal(err)
@@ -150,7 +151,7 @@ func TestTrailingPartialInterval(t *testing.T) {
 	spec := smallSpec()
 	spec.J = 7
 	spec.Steps = 30 // syncs at 7,14,21,28; tail 29-30
-	res, err := Run(Config{Spec: spec, Constraints: smallCons(), CapMode: CapLong, Seed: 5})
+	res, err := Run(context.Background(), Config{Spec: spec, Constraints: smallCons(), CapMode: CapLong, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestTrailingPartialInterval(t *testing.T) {
 }
 
 func TestTraceSegments(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 6,
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 6,
 		TraceSegments: true})
 	if err != nil {
 		t.Fatal(err)
@@ -207,7 +208,7 @@ func TestSampleSegments(t *testing.T) {
 }
 
 func TestUnbalancedInitialCaps(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
 		InitialSimCap: 120, InitialAnaCap: 100, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -219,7 +220,7 @@ func TestUnbalancedInitialCaps(t *testing.T) {
 }
 
 func TestOverheadReported(t *testing.T) {
-	res, err := Run(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 10})
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestBudgetConservedAcrossPolicies(t *testing.T) {
 	f := func(seed uint64, pick uint8) bool {
 		names := []string{"seesaw", "power-aware", "time-aware"}
 		name := names[int(pick)%len(names)]
-		res, err := Run(Config{Spec: smallSpec(), Policy: policyFor(name, cons, 1),
+		res, err := Run(context.Background(), Config{Spec: smallSpec(), Policy: policyFor(name, cons, 1),
 			Constraints: cons, CapMode: CapLong, Seed: seed % 1000, Noise: machine.DefaultNoise()})
 		if err != nil {
 			return false
@@ -258,7 +259,7 @@ func TestBudgetConservedAcrossPolicies(t *testing.T) {
 func TestFindBestStaticSplit(t *testing.T) {
 	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
 		Seed: 13, RunSeed: 14, Noise: machine.DefaultNoise()}
-	res, err := FindBestStaticSplit(cfg, 4)
+	res, err := FindBestStaticSplit(context.Background(), cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,10 +279,10 @@ func TestFindBestStaticSplit(t *testing.T) {
 }
 
 func TestFindBestStaticSplitValidation(t *testing.T) {
-	if _, err := FindBestStaticSplit(Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong}, 0); err == nil {
+	if _, err := FindBestStaticSplit(context.Background(), Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong}, 0); err == nil {
 		t.Error("zero step should fail")
 	}
-	if _, err := FindBestStaticSplit(Config{}, 2); err == nil {
+	if _, err := FindBestStaticSplit(context.Background(), Config{}, 2); err == nil {
 		t.Error("empty config should fail")
 	}
 }
@@ -291,12 +292,12 @@ func TestOracleBeatsOrMatchesEvenSplit(t *testing.T) {
 	// split, and SeeSAw lands between even and oracle on the MSD cell.
 	cfg := Config{Spec: smallSpec(), Constraints: smallCons(), CapMode: CapLong,
 		Seed: 31, RunSeed: 32, Noise: machine.DefaultNoise()}
-	oracle, err := FindBestStaticSplit(cfg, 2)
+	oracle, err := FindBestStaticSplit(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ss := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: smallCons(), Window: 1})
-	res, err := Run(Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
+	res, err := Run(context.Background(), Config{Spec: smallSpec(), Policy: ss, Constraints: smallCons(),
 		CapMode: CapLong, Seed: 31, RunSeed: 32, Noise: machine.DefaultNoise()})
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 
 	"seesaw/internal/core"
@@ -40,7 +41,8 @@ func (o OracleResult) Headroom() float64 {
 // increments (the analysis receives the remaining budget) and runs the
 // full co-simulation for each, returning the fastest static allocation.
 // The config's Policy is ignored; each candidate runs the static policy.
-func FindBestStaticSplit(cfg Config, stepW units.Watts) (*OracleResult, error) {
+// Cancelling the context aborts the sweep with ctx.Err().
+func FindBestStaticSplit(ctx context.Context, cfg Config, stepW units.Watts) (*OracleResult, error) {
 	if stepW <= 0 {
 		return nil, fmt.Errorf("cosim: oracle step must be positive, got %v", stepW)
 	}
@@ -64,7 +66,7 @@ func FindBestStaticSplit(cfg Config, stepW units.Watts) (*OracleResult, error) {
 		run.Policy = nil // normalize() installs static
 		run.InitialSimCap = simCap
 		run.InitialAnaCap = anaCap
-		out, err := Run(run)
+		out, err := Run(ctx, run)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +89,7 @@ func FindBestStaticSplit(cfg Config, stepW units.Watts) (*OracleResult, error) {
 		run.Policy = nil
 		run.InitialSimCap = even
 		run.InitialAnaCap = even
-		out, err := Run(run)
+		out, err := Run(ctx, run)
 		if err != nil {
 			return nil, err
 		}

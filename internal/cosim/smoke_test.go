@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"testing"
 
 	"seesaw/internal/core"
@@ -34,7 +35,7 @@ func TestSmokePoliciesAt128Nodes(t *testing.T) {
 	}
 	cons := core.Constraints{Budget: units.Watts(110 * 128), MinCap: 98, MaxCap: 215}
 	for _, p := range []string{"static", "seesaw", "power-aware", "time-aware"} {
-		res, err := Run(Config{
+		res, err := Run(context.Background(), Config{
 			Spec:        spec,
 			Policy:      policyFor(p, cons, 1),
 			Constraints: cons,

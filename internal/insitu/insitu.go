@@ -26,6 +26,7 @@
 package insitu
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -198,8 +199,10 @@ const (
 	tagCount
 )
 
-// Run executes the in-situ job and returns its result.
-func Run(cfg Config) (*Result, error) {
+// Run executes the in-situ job and returns its result. Cancelling the
+// context unwinds every rank goroutine — including ranks blocked at a
+// collective or in a receive — and Run returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -215,7 +218,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	var mu sync.Mutex // guards res across rank goroutines
 
-	err := mpi.RunWithTelemetry(nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
+	err := mpi.RunContext(ctx, nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
 		isSim := r.WorldRank() < cfg.SimRanks
 		role := core.RoleAnalysis
 		if isSim {

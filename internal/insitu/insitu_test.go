@@ -2,6 +2,7 @@ package insitu
 
 import (
 	"bytes"
+	"context"
 	"regexp"
 	"strings"
 	"testing"
@@ -36,14 +37,14 @@ func TestConfigValidation(t *testing.T) {
 			Constraints: core.Constraints{Budget: 1, MinCap: 98, MaxCap: 215}},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(cfg); err == nil {
+		if _, err := Run(context.Background(), cfg); err == nil {
 			t.Errorf("config %d should be rejected", i)
 		}
 	}
 }
 
 func TestRunProducesResults(t *testing.T) {
-	res, err := Run(tinyConfig(core.NewStatic(), []string{"rdf", "vacf"}, 20))
+	res, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"rdf", "vacf"}, 20))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestRunProducesResults(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	run := func() units.Seconds {
-		res, err := Run(tinyConfig(core.NewStatic(), []string{"msd"}, 15))
+		res, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"msd"}, 15))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,11 +86,11 @@ func TestSeeSAwImprovesOverStaticWithMSD(t *testing.T) {
 	// The headline integration check: SeeSAw must beat the static
 	// baseline on the high-demand analysis.
 	cons := core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
-	static, err := Run(tinyConfig(core.NewStatic(), []string{"msd"}, 50))
+	static, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"msd"}, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ss, err := Run(tinyConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), []string{"msd"}, 50))
+	ss, err := Run(context.Background(), tinyConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), []string{"msd"}, 50))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestSeeSAwImprovesOverStaticWithMSD(t *testing.T) {
 
 func TestSeeSAwGivesAnalysisMorePowerWithMSD(t *testing.T) {
 	cons := core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
-	res, err := Run(tinyConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), []string{"msd"}, 40))
+	res, err := Run(context.Background(), tinyConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), []string{"msd"}, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestSeeSAwGivesAnalysisMorePowerWithMSD(t *testing.T) {
 func TestSyncEvery(t *testing.T) {
 	cfg := tinyConfig(core.NewStatic(), []string{"vacf"}, 20)
 	cfg.SyncEvery = 5
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestSyncEvery(t *testing.T) {
 func TestMixedAnalysisIntervals(t *testing.T) {
 	cfg := tinyConfig(core.NewStatic(), []string{"rdf", "msd"}, 12)
 	cfg.AnalysisIntervals = map[string]int{"msd": 4}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestMixedAnalysisIntervals(t *testing.T) {
 func TestUnbalancedInitialCaps(t *testing.T) {
 	cfg := tinyConfig(core.NewStatic(), []string{"vacf"}, 10)
 	cfg.InitialSimCap, cfg.InitialAnaCap = 120, 100
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestUnevenPartitionSizes(t *testing.T) {
 	cfg := tinyConfig(core.NewStatic(), []string{"rdf"}, 8)
 	cfg.SimRanks, cfg.AnaRanks = 4, 2
 	cfg.Constraints = core.Constraints{Budget: 110 * 6, MinCap: 98, MaxCap: 215}
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,13 +174,13 @@ func TestUnevenPartitionSizes(t *testing.T) {
 }
 
 func TestNoiseChangesOutcome(t *testing.T) {
-	quiet, err := Run(tinyConfig(core.NewStatic(), []string{"vacf"}, 10))
+	quiet, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"vacf"}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
 	noisy := tinyConfig(core.NewStatic(), []string{"vacf"}, 10)
 	noisy.Noise = machine.DefaultNoise()
-	res, err := Run(noisy)
+	res, err := Run(context.Background(), noisy)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestNoiseChangesOutcome(t *testing.T) {
 }
 
 func TestAllAnalyses(t *testing.T) {
-	res, err := Run(tinyConfig(core.NewStatic(), []string{"rdf", "msd1d", "msd2d", "msd", "vacf"}, 10))
+	res, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"rdf", "msd1d", "msd2d", "msd", "vacf"}, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestPolicyComparisonNoHarmOnVACF(t *testing.T) {
 	// invariant here is that neither adaptive policy makes it more than
 	// marginally slower than the static baseline.
 	cons := core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
-	static, err := Run(tinyConfig(core.NewStatic(), []string{"vacf"}, 60))
+	static, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"vacf"}, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestPolicyComparisonNoHarmOnVACF(t *testing.T) {
 		"seesaw":     core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}),
 		"time-aware": core.MustNewTimeAware(core.DefaultTimeAwareConfig(cons)),
 	} {
-		res, err := Run(tinyConfig(pol, []string{"vacf"}, 60))
+		res, err := Run(context.Background(), tinyConfig(pol, []string{"vacf"}, 60))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -228,7 +229,7 @@ func TestPolicyComparisonNoHarmOnVACF(t *testing.T) {
 func TestPowerSampling(t *testing.T) {
 	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 10)
 	cfg.PowerSample = 2.0
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestTelemetryStream(t *testing.T) {
 		Constraints: core.Constraints{Budget: 110 * 4, MinCap: 98, MaxCap: 215}, Window: 1,
 	}), []string{"msd"}, 10)
 	cfg.Telemetry = hub
-	if _, err := Run(cfg); err != nil {
+	if _, err := Run(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if err := hub.Close(); err != nil {

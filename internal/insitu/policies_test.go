@@ -1,6 +1,7 @@
 package insitu
 
 import (
+	"context"
 	"testing"
 
 	"seesaw/internal/core"
@@ -16,7 +17,7 @@ func extCons() core.Constraints {
 
 func TestHierarchicalEndToEnd(t *testing.T) {
 	h := core.MustNewHierarchical(core.DefaultHierarchicalConfig(extCons()))
-	res, err := Run(tinyConfig(h, []string{"msd"}, 40))
+	res, err := Run(context.Background(), tinyConfig(h, []string{"msd"}, 40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +38,11 @@ func TestExploringEndToEnd(t *testing.T) {
 	cfg := core.DefaultExploringConfig(extCons())
 	cfg.Period = 8
 	e := core.MustNewExploringSeeSAw(cfg)
-	res, err := Run(tinyConfig(e, []string{"msd"}, 60))
+	res, err := Run(context.Background(), tinyConfig(e, []string{"msd"}, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := Run(tinyConfig(core.NewStatic(), []string{"msd"}, 60))
+	static, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"msd"}, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestPowerShiftEndToEnd(t *testing.T) {
 		},
 		GridStep: 1,
 	})
-	res, err := Run(tinyConfig(ps, []string{"msd"}, 40))
+	res, err := Run(context.Background(), tinyConfig(ps, []string{"msd"}, 40))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package insitu
 
 import (
+	"context"
 	"testing"
 
 	"seesaw/internal/core"
@@ -26,12 +27,12 @@ func smokeConfig(policy core.Policy, analyses []string) Config {
 func TestSmokeStaticVsSeeSAw(t *testing.T) {
 	analyses := []string{"msd"}
 
-	static, err := Run(smokeConfig(core.NewStatic(), analyses))
+	static, err := Run(context.Background(), smokeConfig(core.NewStatic(), analyses))
 	if err != nil {
 		t.Fatalf("static run: %v", err)
 	}
 	cons := core.Constraints{Budget: 440, MinCap: 98, MaxCap: 215}
-	ss, err := Run(smokeConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), analyses))
+	ss, err := Run(context.Background(), smokeConfig(core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1}), analyses))
 	if err != nil {
 		t.Fatalf("seesaw run: %v", err)
 	}

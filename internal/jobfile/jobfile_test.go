@@ -1,6 +1,7 @@
 package jobfile
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -76,7 +77,7 @@ func TestBuildAndRun(t *testing.T) {
 	if cfg.Policy.Name() != "seesaw" {
 		t.Errorf("policy = %s", cfg.Policy.Name())
 	}
-	res, err := cosim.Run(cfg)
+	res, err := cosim.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCompletesWithoutCancel: the context path is inert when
+// never cancelled.
+func TestRunContextCompletesWithoutCancel(t *testing.T) {
+	err := RunContext(context.Background(), 4, DefaultCost(), nil, func(r *Rank) {
+		r.World().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunContextPreCancelled: an already-dead context never spawns rank
+// work.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunContext(ctx, 2, DefaultCost(), nil, func(r *Rank) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("body ran under a pre-cancelled context")
+	}
+}
+
+// TestCancelUnblocksRecv: a rank blocked in Recv with no sender must
+// unwind when the context is cancelled, without being reported as a
+// rank panic.
+func TestCancelUnblocksRecv(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := make(chan struct{})
+	go func() {
+		<-blocked
+		cancel()
+	}()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunContext(ctx, 2, DefaultCost(), nil, func(r *Rank) {
+			if r.WorldRank() == 1 {
+				close(blocked)
+				r.Recv(0, 7) // no matching send ever arrives
+				t.Error("Recv returned after cancellation")
+			}
+			// Rank 0 exits immediately.
+		})
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after cancel: Recv leaked")
+	}
+}
+
+// TestCancelUnblocksCollective: ranks parked at a barrier that will
+// never complete (one member refuses to arrive) unwind on cancellation.
+func TestCancelUnblocksCollective(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	hold := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunContext(ctx, 4, DefaultCost(), nil, func(r *Rank) {
+			if r.WorldRank() == 0 {
+				<-hold // skip the barrier until after cancellation
+				return
+			}
+			r.World().Barrier()
+			t.Errorf("rank %d passed a barrier missing a member", r.WorldRank())
+		})
+	}()
+	time.Sleep(20 * time.Millisecond) // let ranks 1..3 park in the barrier
+	cancel()
+	close(hold)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return: collective waiters leaked")
+	}
+}
+
+// TestCancelUnblocksSubcommunicator: waiters blocked on a Split-created
+// communicator (registered after the runtime started) are woken too.
+func TestCancelUnblocksSubcommunicator(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	parked := make(chan struct{}, 3)
+	go func() {
+		errc <- RunContext(ctx, 4, DefaultCost(), nil, func(r *Rank) {
+			sub := r.World().Split(r.WorldRank()%2, 0)
+			if r.WorldRank() == 0 {
+				return // starve sub-communicator {0, 2}
+			}
+			parked <- struct{}{}
+			sub.Barrier() // rank 2 waits forever; ranks 1,3 complete
+		})
+	}()
+	for i := 0; i < 3; i++ {
+		<-parked
+	}
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return: sub-communicator waiter leaked")
+	}
+}
+
+// TestRankPanicBeatsCancellation: a genuine rank panic is reported even
+// when the context is also cancelled during teardown.
+func TestRankPanicBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunContext(ctx, 2, DefaultCost(), nil, func(r *Rank) {
+			if r.WorldRank() == 0 {
+				panic("genuine failure")
+			}
+			r.Recv(0, 1) // blocks until cancellation
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil || errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want the rank 0 panic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return")
+	}
+}

@@ -24,10 +24,13 @@
 package mpi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
@@ -77,6 +80,67 @@ type Runtime struct {
 	tel  *telemetry.Hub
 
 	mail []*mailbox
+
+	// Cancellation state. cancelErr is written once, before cancelled is
+	// set; it is read only after observing cancelled, so the atomic store
+	// orders the two. groups tracks every communicator group (world plus
+	// all Split products) so doCancel can wake their blocked waiters.
+	cancelled atomic.Bool
+	cancelErr error
+
+	groupsMu sync.Mutex
+	groups   []*group
+}
+
+// errCanceled is the sentinel panic value that unwinds rank goroutines
+// blocked in Recv or a collective when the run's context is cancelled.
+// The rank wrapper recognizes it and does not report it as a rank panic.
+var errCanceled = errors.New("mpi: run cancelled")
+
+// newGroup creates a communicator group and registers it for
+// cancellation wakeups.
+func (rt *Runtime) newGroup(members []int) *group {
+	g := newGroup(members)
+	rt.groupsMu.Lock()
+	rt.groups = append(rt.groups, g)
+	rt.groupsMu.Unlock()
+	return g
+}
+
+// isCancelled reports whether the run has been cancelled.
+func (rt *Runtime) isCancelled() bool { return rt.cancelled.Load() }
+
+// doCancel marks the runtime cancelled and wakes every goroutine blocked
+// on a mailbox or a collective rendezvous. Broadcasting under each
+// waiter's own mutex closes the check-then-wait window: a waiter either
+// sees the flag before sleeping or is woken after.
+func (rt *Runtime) doCancel(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	rt.groupsMu.Lock()
+	already := rt.cancelErr != nil
+	if !already {
+		rt.cancelErr = err
+	}
+	rt.groupsMu.Unlock()
+	if already {
+		return
+	}
+	rt.cancelled.Store(true)
+	for _, mb := range rt.mail {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	rt.groupsMu.Lock()
+	gs := append([]*group(nil), rt.groups...)
+	rt.groupsMu.Unlock()
+	for _, g := range gs {
+		g.mu.Lock()
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
 }
 
 // message is a point-to-point payload in flight.
@@ -115,21 +179,36 @@ type Rank struct {
 // A panic on any rank is captured and returned as an error naming the
 // rank. All clocks start at zero.
 func Run(n int, cost CostModel, body func(r *Rank)) error {
-	return RunWithTelemetry(n, cost, nil, body)
+	return RunContext(context.Background(), n, cost, nil, body)
 }
 
 // RunWithTelemetry is Run with a telemetry hub attached to the runtime:
 // collective rendezvous waits and point-to-point message counts are
 // reported to it. A nil hub is equivalent to Run.
 func RunWithTelemetry(n int, cost CostModel, tel *telemetry.Hub, body func(r *Rank)) error {
+	return RunContext(context.Background(), n, cost, tel, body)
+}
+
+// RunContext is RunWithTelemetry under a context: when ctx is cancelled,
+// ranks blocked in Recv or a collective unwind promptly (via an internal
+// sentinel panic the runtime recognizes), ranks doing local work abort
+// at their next communication, and RunContext returns ctx.Err(). A rank
+// panic unrelated to cancellation still wins over the context error.
+func RunContext(ctx context.Context, n int, cost CostModel, tel *telemetry.Hub, body func(r *Rank)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return fmt.Errorf("mpi: rank count must be positive, got %d", n)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	rt := &Runtime{size: n, cost: cost, tel: tel, mail: make([]*mailbox, n)}
 	for i := range rt.mail {
 		rt.mail[i] = newMailbox()
 	}
-	worldGroup := newGroup(identity(n))
+	worldGroup := rt.newGroup(identity(n))
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -139,6 +218,9 @@ func RunWithTelemetry(n int, cost CostModel, tel *telemetry.Hub, body func(r *Ra
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, errCanceled) {
+						return // orderly unwind, not a rank failure
+					}
 					errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, r)
 				}
 			}()
@@ -147,11 +229,31 @@ func RunWithTelemetry(n int, cost CostModel, tel *telemetry.Hub, body func(r *Ra
 			body(rank)
 		}(i)
 	}
-	wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	watcher := make(chan struct{})
+	go func() {
+		defer close(watcher)
+		select {
+		case <-ctx.Done():
+			rt.doCancel(ctx.Err())
+		case <-done:
+		}
+	}()
+	<-done
+	<-watcher
+
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
+	}
+	if rt.isCancelled() {
+		return rt.cancelErr
 	}
 	return nil
 }
@@ -229,6 +331,9 @@ func (r *Rank) Recv(src, tag int) any {
 				return m.payload
 			}
 		}
+		if r.rt.isCancelled() {
+			panic(errCanceled)
+		}
 		mb.cond.Wait()
 	}
 }
@@ -288,6 +393,9 @@ func (c *Comm) WorldRankOf(rank int) int { return c.group.members[rank] }
 func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(inputs []any) any) any {
 	g := c.group
 	k := len(g.members)
+	if c.rank.rt.isCancelled() {
+		panic(errCanceled)
+	}
 	if k == 1 {
 		// Single-member communicator: the operation is local.
 		out := reduce([]any{input})
@@ -344,13 +452,22 @@ func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(input
 		g.gen++
 		g.cond.Broadcast()
 	} else {
-		for g.gen == myGen && g.poisoned == "" {
+		for g.gen == myGen && g.poisoned == "" && !c.rank.rt.isCancelled() {
 			g.cond.Wait()
 		}
 		if g.poisoned != "" {
 			msg := g.poisoned
 			g.mu.Unlock()
 			panic(msg)
+		}
+		if g.gen == myGen {
+			// Woken by cancellation with the collective still incomplete:
+			// withdraw the contribution so the group state stays coherent
+			// for any diagnostic inspection, then unwind.
+			g.inputs[c.myRank] = nil
+			g.count--
+			g.mu.Unlock()
+			panic(errCanceled)
 		}
 	}
 	res := g.result
@@ -492,7 +609,9 @@ func (c *Comm) Split(color, key int) *Comm {
 				for i, sk := range sks {
 					members[i] = sk.world
 				}
-				groups[color] = newGroup(members)
+				// Register through the runtime so cancellation can wake
+				// waiters blocked on this sub-communicator too.
+				groups[color] = c.rank.rt.newGroup(members)
 			}
 			return groups
 		})

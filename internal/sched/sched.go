@@ -17,6 +17,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"seesaw/internal/core"
@@ -113,7 +114,7 @@ func jobNodes(j JobSpec) int { return j.Workload.SimNodes + j.Workload.AnaNodes 
 // of its workload under its current budget; between epochs the system
 // level re-divides the machine budget by each job's measured energy
 // share (when SystemAware).
-func Run(cfg Config) (*Result, error) {
+func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,7 +167,7 @@ func Run(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			out, err := cosim.Run(cosim.Config{
+			out, err := cosim.Run(ctx, cosim.Config{
 				Spec:        spec,
 				Policy:      pol,
 				Constraints: cons,

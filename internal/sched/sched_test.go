@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"testing"
 
 	"seesaw/internal/machine"
@@ -53,7 +54,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestRunBasics(t *testing.T) {
-	res, err := Run(twoJobs(40))
+	res, err := Run(context.Background(), twoJobs(40))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestRunBasics(t *testing.T) {
 func TestSystemAwareShiftsBudgetToHungryJob(t *testing.T) {
 	cfg := twoJobs(60)
 	cfg.SystemAware = true
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +95,11 @@ func TestSystemAwareImprovesHungryJob(t *testing.T) {
 	static := twoJobs(60)
 	aware := twoJobs(60)
 	aware.SystemAware = true
-	rs, err := Run(static)
+	rs, err := Run(context.Background(), static)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ra, err := Run(aware)
+	ra, err := Run(context.Background(), aware)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestSystemAwareImprovesHungryJob(t *testing.T) {
 func TestMachineBudgetRespected(t *testing.T) {
 	cfg := twoJobs(40)
 	cfg.SystemAware = true
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestMachineBudgetRespected(t *testing.T) {
 func TestUnknownPolicyRejected(t *testing.T) {
 	cfg := twoJobs(20)
 	cfg.Jobs[0].PolicyName = "bogus"
-	if _, err := Run(cfg); err == nil {
+	if _, err := Run(context.Background(), cfg); err == nil {
 		t.Error("unknown intra-job policy should fail")
 	}
 }
@@ -136,7 +137,7 @@ func TestSingleEpochIsStaticSystemLevel(t *testing.T) {
 	cfg := twoJobs(40)
 	cfg.Epochs = 1
 	cfg.SystemAware = true // cannot act with a single epoch
-	res, err := Run(cfg)
+	res, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +147,11 @@ func TestSingleEpochIsStaticSystemLevel(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	a, err := Run(twoJobs(30))
+	a, err := Run(context.Background(), twoJobs(30))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(twoJobs(30))
+	b, err := Run(context.Background(), twoJobs(30))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,14 +164,14 @@ func TestAllIntraJobPolicies(t *testing.T) {
 	for _, name := range []string{"static", "seesaw", "power-aware", "time-aware", ""} {
 		cfg := twoJobs(20)
 		cfg.Jobs[0].PolicyName = name
-		if _, err := Run(cfg); err != nil {
+		if _, err := Run(context.Background(), cfg); err != nil {
 			t.Errorf("policy %q: %v", name, err)
 		}
 	}
 }
 
 func TestMakespanIsMaxJobTime(t *testing.T) {
-	res, err := Run(twoJobs(30))
+	res, err := Run(context.Background(), twoJobs(30))
 	if err != nil {
 		t.Fatal(err)
 	}

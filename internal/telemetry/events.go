@@ -97,6 +97,27 @@ type ThrottleEngaged struct {
 // Kind implements Event.
 func (ThrottleEngaged) Kind() string { return "ThrottleEngaged" }
 
+// CampaignCell records one campaign cell completing (or being skipped
+// by cancellation): the experiment-matrix progress stream behind
+// `seesawctl serve` during an `all -jobs N` run.
+type CampaignCell struct {
+	// Campaign names the campaign (usually the experiment id).
+	Campaign string `json:"campaign"`
+	// Key identifies the cell within the campaign.
+	Key string `json:"key"`
+	// Status is "ok", "error" or "skipped" (never started: cancelled).
+	Status string `json:"status"`
+	// Seconds is the cell's wall-clock duration (0 when skipped).
+	Seconds float64 `json:"seconds"`
+	// Done and Total report campaign progress: cells finished so far out
+	// of the cells enumerated.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// Kind implements Event.
+func (CampaignCell) Kind() string { return "CampaignCell" }
+
 // BudgetShare records the machine-level scheduler (re)assigning one
 // job's power budget.
 type BudgetShare struct {
@@ -147,6 +168,8 @@ func Decode(line []byte) (Event, error) {
 		ev = &ThrottleEngaged{}
 	case "BudgetShare":
 		ev = &BudgetShare{}
+	case "CampaignCell":
+		ev = &CampaignCell{}
 	default:
 		return nil, fmt.Errorf("telemetry: unknown event kind %q", env.Kind)
 	}
@@ -171,6 +194,8 @@ func deref(e Event) Event {
 	case *ThrottleEngaged:
 		return *v
 	case *BudgetShare:
+		return *v
+	case *CampaignCell:
 		return *v
 	}
 	return e

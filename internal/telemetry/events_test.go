@@ -17,6 +17,7 @@ var allEvents = []Event{
 	BudgetViolation{T: 4, Node: "ana", ObservedW: 120, LimitW: 110},
 	ThrottleEngaged{T: 5, Node: "sim", DemandW: 180, AllowedW: 150},
 	BudgetShare{T: 6, Epoch: 2, Job: "jobA", BudgetW: 7040, Share: 0.5},
+	CampaignCell{Campaign: "fig3a", Key: "rdf/seesaw/r0", Status: "ok", Seconds: 0.25, Done: 3, Total: 18},
 }
 
 // TestEncodeDecodeRoundTrip decodes every event type back to an
@@ -80,7 +81,7 @@ func TestKindsAreUnique(t *testing.T) {
 		}
 		seen[e.Kind()] = true
 	}
-	if len(seen) != 6 {
-		t.Errorf("expected 6 event kinds, have %d", len(seen))
+	if len(seen) != 7 {
+		t.Errorf("expected 7 event kinds, have %d", len(seen))
 	}
 }

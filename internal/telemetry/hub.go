@@ -55,6 +55,9 @@ type Hub struct {
 	shiftHist    *Family // histogram{policy}: per-node shift magnitude
 	powerHist    *Family // histogram{partition}: measured per-node power
 	jobBudget    *Family // gauge{job}: scheduler budget share
+	campCells    *Family // counter{campaign,status}: campaign cells finished
+	campInflight *Family // gauge{campaign}: campaign cells currently running
+	campCellSec  *Family // histogram{campaign}: campaign cell duration
 	eventsTotal  *Family // counter{kind}
 	droppedTotal *Family // counter: ring/sink drops
 }
@@ -85,6 +88,9 @@ func New(o Options) *Hub {
 		shiftHist:    reg.Histogram("seesaw_policy_shift_watts", "Per-node power moved by one policy decision", []float64{0.5, 1, 2, 5, 10, 20, 50, 100}, "policy"),
 		powerHist:    reg.Histogram("seesaw_node_power_watts", "Measured per-node average power per interval", PowerBuckets(), "partition"),
 		jobBudget:    reg.Gauge("seesaw_job_budget_watts", "Per-job power budget assigned by the scheduler", "job"),
+		campCells:    reg.Counter("seesaw_campaign_cells_total", "Campaign cells finished, by status", "campaign", "status"),
+		campInflight: reg.Gauge("seesaw_campaign_inflight_cells", "Campaign cells currently executing", "campaign"),
+		campCellSec:  reg.Histogram("seesaw_campaign_cell_seconds", "Wall-clock duration of one campaign cell", CellBuckets(), "campaign"),
 		eventsTotal:  reg.Counter("seesaw_events_total", "Structured events emitted", "kind"),
 		droppedTotal: reg.Counter("seesaw_events_dropped_total", "Structured events lost to sink errors"),
 	}
@@ -320,6 +326,31 @@ func (h *Hub) PolicyDecision(t float64, policy string, step int, prevSimW, prevA
 		SimCapW: simW, AnaCapW: anaW,
 		ShiftW: math.Abs(shift), Direction: dir,
 	})
+}
+
+// CampaignCellStarted reports one campaign cell entering a worker
+// (metrics only: the inflight gauge is what `serve` dashboards watch).
+func (h *Hub) CampaignCellStarted(campaign string) {
+	if h == nil {
+		return
+	}
+	h.campInflight.With(campaign).Add(1)
+}
+
+// CampaignCellDone reports one campaign cell leaving the worker pool
+// with the given status ("ok", "error" or "skipped"); done/total carry
+// the campaign's progress. Skipped cells (cancelled before starting)
+// never incremented the inflight gauge, so started distinguishes them.
+func (h *Hub) CampaignCellDone(campaign, key, status string, seconds float64, done, total int, started bool) {
+	if h == nil {
+		return
+	}
+	if started {
+		h.campInflight.With(campaign).Add(-1)
+		h.campCellSec.With(campaign).Observe(seconds)
+	}
+	h.campCells.With(campaign, status).Inc()
+	h.Emit(CampaignCell{Campaign: campaign, Key: key, Status: status, Seconds: seconds, Done: done, Total: total})
 }
 
 // JobBudget reports the machine-level scheduler assigning one job's

@@ -262,6 +262,13 @@ func PowerBuckets() []float64 {
 
 // LatencyBuckets returns 1-2-5 histogram bounds for virtual-time
 // latencies, from 1 microsecond to 100 seconds.
+// CellBuckets returns histogram bounds for campaign cell durations in
+// wall-clock seconds: cells range from sub-second smoke runs to
+// multi-minute 1024-node sweeps.
+func CellBuckets() []float64 {
+	return []float64{0.01, 0.05, 0.1, 0.5, 1, 2, 5, 10, 30, 60, 120, 300, 600}
+}
+
 func LatencyBuckets() []float64 {
 	var out []float64
 	for _, mag := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10, 100} {
