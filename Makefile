@@ -1,17 +1,17 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build check fmt vet test race bench clean
+.PHONY: all build check fmt vet staticcheck test race bench clean
 
 all: build
 
 build:
 	$(GO) build ./...
 
-# check is the tier-1 gate: formatting, vet, and the full suite under
-# the race detector (the telemetry hub and the insitu driver are
-# concurrent by design).
-check: fmt vet race
+# check is the tier-1 gate: formatting, vet, staticcheck (when
+# installed), and the full suite under the race detector (the telemetry
+# hub and the insitu driver are concurrent by design).
+check: fmt vet staticcheck race
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -21,6 +21,16 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is on PATH and is skipped (with a
+# note) otherwise, so `make check` works in offline environments; CI
+# installs it and gets the full gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...

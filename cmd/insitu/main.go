@@ -5,11 +5,18 @@
 // Usage:
 //
 //	insitu [-policy seesaw] [-analyses msd,rdf] [-sim 2] [-ana 2]
-//	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1] [-csv]
+//	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1]
+//	       [-faults PLAN] [-csv]
+//
+// -faults injects a deterministic fault plan (internal/fault grammar,
+// e.g. "slow:1@5x2+20" or "kill:3@20"). A slow excursion degrades the
+// node in place; a kill takes the whole job down through the runtime's
+// poisoning path, as losing a rank does under real MPI.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +25,7 @@ import (
 
 	"seesaw/internal/bench"
 	"seesaw/internal/core"
+	"seesaw/internal/fault"
 	"seesaw/internal/insitu"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
@@ -33,8 +41,14 @@ func main() {
 	w := flag.Int("w", 1, "reallocate power every w synchronizations")
 	capPer := flag.Float64("cap", 110, "per-node power budget (W)")
 	seed := flag.Uint64("seed", 1, "job seed")
+	faults := flag.String("faults", "", "fault plan, e.g. 'slow:1@5x2+20' or 'kill:3@20' (see internal/fault)")
 	csv := flag.Bool("csv", false, "emit the per-synchronization log as CSV")
 	flag.Parse()
+
+	plan, err := fault.Parse(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	nodes := *simRanks + *anaRanks
 	cons := core.Constraints{
@@ -56,8 +70,13 @@ func main() {
 		Policy:      policy,
 		Constraints: cons,
 		Seed:        *seed,
+		Faults:      plan,
 	})
 	if err != nil {
+		var ke *fault.KilledError
+		if errors.As(err, &ke) {
+			log.Fatalf("job aborted: %v (a dead rank takes the whole MPI job down; use slow: faults for survivable degradation)", ke)
+		}
 		log.Fatal(err)
 	}
 

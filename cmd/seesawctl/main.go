@@ -22,7 +22,7 @@
 // cells are skipped, any partial report is flushed, and the process
 // exits non-zero.
 //
-// trace flags: -policy, -analyses, -nodes, -dim, -j, -w (see -h).
+// trace flags: -policy, -analyses, -nodes, -dim, -j, -w, -faults (see -h).
 // serve flags: -addr, -id, plus the shared flags above (see -h).
 package main
 
@@ -40,6 +40,7 @@ import (
 	"seesaw/internal/bench"
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
+	"seesaw/internal/fault"
 	"seesaw/internal/jobfile"
 	"seesaw/internal/machine"
 	"seesaw/internal/telemetry"
@@ -242,9 +243,14 @@ func runTrace(ctx context.Context, args []string) int {
 	steps := fs.Int("steps", 400, "Verlet steps")
 	capPer := fs.Float64("cap", 110, "per-node budget (W)")
 	seed := fs.Uint64("seed", 1, "job seed")
+	faults := fs.String("faults", "", "fault plan, e.g. 'kill:3@40,slow:0@10x2+20' (see internal/fault)")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	plan, err := fault.Parse(*faults)
+	if err != nil {
+		return fail(ctx, err)
 	}
 	hub, closeHub := mustOpenHub(*telPath)
 	defer closeHub()
@@ -256,9 +262,9 @@ func runTrace(ctx context.Context, args []string) int {
 		tasks = workload.Tasks(strings.Split(*analyses, ",")...)
 	}
 	cons := core.Constraints{Budget: units.Watts(*capPer) * units.Watts(*nodes), MinCap: 98, MaxCap: 215}
-	pol, err := bench.NewPolicy(*policy, cons, *w)
-	if err != nil {
-		return fail(ctx, err)
+	pol, perr := bench.NewPolicy(*policy, cons, *w)
+	if perr != nil {
+		return fail(ctx, perr)
 	}
 	res, err := cosim.Run(ctx, cosim.Config{
 		Spec: workload.Spec{
@@ -271,6 +277,7 @@ func runTrace(ctx context.Context, args []string) int {
 		Seed:        *seed,
 		RunSeed:     *seed + 1,
 		Noise:       machine.DefaultNoise(),
+		Faults:      plan,
 		Telemetry:   hub,
 	})
 	if err != nil {
@@ -320,7 +327,7 @@ usage:
   seesawctl list
   seesawctl run <id> [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
   seesawctl all [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
-  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-telemetry FILE]
+  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-faults PLAN] [-telemetry FILE]
   seesawctl job [-csv] [-telemetry FILE] <job.json>
   seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N] [-jobs N]
   seesawctl selftest [-seed N] [-jobs N]   # verify the paper's headline invariants

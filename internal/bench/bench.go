@@ -15,6 +15,7 @@ import (
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
+	"seesaw/internal/fault"
 	"seesaw/internal/machine"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
@@ -170,6 +171,7 @@ type cell struct {
 	anaStart   units.Watts
 	jobSeed    uint64
 	runSeed    uint64
+	faults     *fault.Plan
 	telemetry  *telemetry.Hub
 }
 
@@ -203,6 +205,7 @@ func runCell(ctx context.Context, c cell) (*cosim.Result, error) {
 		Seed:          c.jobSeed,
 		RunSeed:       c.runSeed,
 		Noise:         machine.DefaultNoise(),
+		Faults:        c.faults,
 		Telemetry:     c.telemetry,
 	})
 }

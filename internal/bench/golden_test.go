@@ -43,6 +43,32 @@ func TestReportByteIdenticalAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestFaultsByteIdenticalAcrossJobs pins determinism for the fault
+// path specifically: fault application rides the per-interval clock
+// inside each cell, so a kill or excursion must not introduce any
+// scheduling-dependent state even when cells run on 8 workers.
+func TestFaultsByteIdenticalAcrossJobs(t *testing.T) {
+	e, ok := Get("faults")
+	if !ok {
+		t.Fatal("faults experiment not registered")
+	}
+	render := func(jobs int) []byte {
+		t.Helper()
+		o := fastOptions()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := e.Run(context.Background(), o, &buf); err != nil {
+			t.Fatalf("faults(jobs=%d): %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("faults reports differ between jobs=1 and jobs=8:\n%s\n---\n%s", seq, par)
+	}
+}
+
 func excerpt(b []byte, at int) string {
 	end := at + 40
 	if end > len(b) {

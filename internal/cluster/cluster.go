@@ -1,0 +1,303 @@
+// Package cluster owns node lifecycle for the simulated jobs: it
+// constructs the machine.Nodes of a two-partition in-situ job (the
+// wiring previously duplicated across the cosim and insitu drivers),
+// tracks per-node health on the virtual clock, and applies deterministic
+// fault plans (package fault), exposing a membership view that shrinks
+// or weakens as faults fire.
+//
+// Health is three-valued: Healthy nodes run at full speed, Degraded
+// nodes keep executing with their phase durations scaled by a slow
+// factor (a transient excursion: thermal throttling, a failing fan, OS
+// interference), and Dead nodes stop executing and draw no power. Every
+// transition is recorded as a Transition and mirrored to telemetry
+// (NodeKilled / NodeDegraded / NodeRecovered events plus the fault
+// counter and alive/degraded gauges).
+//
+// Two application paths serve the two drivers: the sequential cosim
+// driver calls Advance once per synchronization interval to apply the
+// plan cluster-wide, while the goroutine-per-rank insitu driver has each
+// rank call Apply for its own node (each rank only ever touches its own
+// machine.Node, so the slow-factor write stays single-owner).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"seesaw/internal/core"
+	"seesaw/internal/fault"
+	"seesaw/internal/machine"
+	"seesaw/internal/rapl"
+	"seesaw/internal/telemetry"
+	"seesaw/internal/units"
+)
+
+// Config describes the node population of one job.
+type Config struct {
+	// SimNodes and AnaNodes are the partition sizes; node ids 0 to
+	// SimNodes-1 are simulation, the rest analysis (the drivers' rank
+	// layout).
+	SimNodes, AnaNodes int
+	// Rapl is the per-node RAPL hardware model (Theta if zero).
+	Rapl rapl.Config
+	// Machine is the node performance model (DefaultModel if zero).
+	Machine machine.Model
+	// Noise configures node variability; zero disables noise.
+	Noise machine.NoiseModel
+	// JobSeed fixes node-allocation effects (speed and power-efficiency
+	// skews); RunSeed drives per-run jitter. RunSeed zero falls back to
+	// JobSeed (the single-seed behaviour of the insitu driver).
+	JobSeed, RunSeed uint64
+	// Faults is the fault plan applied on the virtual clock; nil means a
+	// fault-free run.
+	Faults *fault.Plan
+	// Telemetry, when non-nil, receives per-partition RAPL metrics from
+	// every node (events from one representative node per partition, to
+	// stay readable at 1024 nodes) and the node-lifecycle events.
+	Telemetry *telemetry.Hub
+}
+
+// Transition records one health change applied by the fault plan.
+type Transition struct {
+	// NodeID is the stable node id (cosim node index / insitu world rank).
+	NodeID int
+	// Role is the node's partition.
+	Role core.Role
+	// From and To are the health states before and after.
+	From, To core.Health
+	// Factor is the slow multiplier in force after the transition
+	// (1 unless To is Degraded).
+	Factor float64
+	// Sync is the 1-based synchronization index the transition fired at.
+	Sync int
+	// T is the virtual time of the transition.
+	T units.Seconds
+}
+
+// String renders a transition for logs and traces.
+func (tr Transition) String() string {
+	if tr.To == core.Degraded {
+		return fmt.Sprintf("sync %d: node %d (%s) %s -> %s x%g", tr.Sync, tr.NodeID, tr.Role, tr.From, tr.To, tr.Factor)
+	}
+	return fmt.Sprintf("sync %d: node %d (%s) %s -> %s", tr.Sync, tr.NodeID, tr.Role, tr.From, tr.To)
+}
+
+// Cluster is the node population of one job plus its health state.
+type Cluster struct {
+	cfg   Config
+	nodes []*machine.Node
+	roles []core.Role
+
+	mu       sync.Mutex
+	health   []core.Health
+	slow     []float64 // slow factor currently applied to each node
+	aliveSim int
+	aliveAna int
+}
+
+// New validates the configuration and builds the node population. The
+// fault plan, if any, is checked against the node count and rejected if
+// its kills would wipe out an entire partition (the drivers cannot make
+// progress with an empty partition, and the allocators return nil).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.SimNodes <= 0 || cfg.AnaNodes <= 0 {
+		return nil, fmt.Errorf("cluster: need positive partition sizes, got sim=%d ana=%d", cfg.SimNodes, cfg.AnaNodes)
+	}
+	if cfg.Machine == (machine.Model{}) {
+		cfg.Machine = machine.DefaultModel()
+	}
+	if cfg.Rapl == (rapl.Config{}) {
+		cfg.Rapl = rapl.Theta()
+	}
+	n := cfg.SimNodes + cfg.AnaNodes
+	if err := cfg.Faults.Validate(n); err != nil {
+		return nil, err
+	}
+	var killsSim, killsAna int
+	for _, id := range cfg.Faults.Kills() {
+		if id < cfg.SimNodes {
+			killsSim++
+		} else {
+			killsAna++
+		}
+	}
+	if killsSim >= cfg.SimNodes {
+		return nil, fmt.Errorf("cluster: fault plan kills all %d simulation nodes", cfg.SimNodes)
+	}
+	if killsAna >= cfg.AnaNodes {
+		return nil, fmt.Errorf("cluster: fault plan kills all %d analysis nodes", cfg.AnaNodes)
+	}
+
+	runSeed := cfg.RunSeed
+	if runSeed == 0 {
+		runSeed = cfg.JobSeed
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		nodes:    make([]*machine.Node, n),
+		roles:    make([]core.Role, n),
+		health:   make([]core.Health, n),
+		slow:     make([]float64, n),
+		aliveSim: cfg.SimNodes,
+		aliveAna: cfg.AnaNodes,
+	}
+	for i := 0; i < n; i++ {
+		c.nodes[i] = machine.NewNodeWithSeeds(i, cfg.Rapl, cfg.Machine, cfg.Noise, cfg.JobSeed, runSeed)
+		if i < cfg.SimNodes {
+			c.roles[i] = core.RoleSimulation
+		} else {
+			c.roles[i] = core.RoleAnalysis
+		}
+		c.slow[i] = 1
+		if cfg.Telemetry != nil {
+			// Metrics aggregate per partition; the event stream carries one
+			// representative node per partition.
+			eventful := i == 0 || i == cfg.SimNodes
+			c.nodes[i].RAPL().SetTelemetry(cfg.Telemetry, c.roles[i].String(), eventful)
+		}
+	}
+	return c, nil
+}
+
+// Size returns the total node count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// SimNodes returns the configured simulation-partition size.
+func (c *Cluster) SimNodes() int { return c.cfg.SimNodes }
+
+// AnaNodes returns the configured analysis-partition size.
+func (c *Cluster) AnaNodes() int { return c.cfg.AnaNodes }
+
+// Node returns node i's machine.
+func (c *Cluster) Node(i int) *machine.Node { return c.nodes[i] }
+
+// Role returns node i's partition role.
+func (c *Cluster) Role(i int) core.Role { return c.roles[i] }
+
+// Health returns node i's current health.
+func (c *Cluster) Health(i int) core.Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.health[i]
+}
+
+// Alive reports whether node i is not Dead.
+func (c *Cluster) Alive(i int) bool { return c.Health(i).Alive() }
+
+// AliveCounts returns the partitions' live sizes.
+func (c *Cluster) AliveCounts() (sim, ana int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aliveSim, c.aliveAna
+}
+
+// AliveByRole returns one partition's live size.
+func (c *Cluster) AliveByRole(role core.Role) int {
+	sim, ana := c.AliveCounts()
+	if role == core.RoleSimulation {
+		return sim
+	}
+	return ana
+}
+
+// WorkScale returns the factor by which each surviving node's share of
+// the partition's (fixed, domain-decomposed) work grows after kills:
+// configured size over live size. It returns 1 for a full partition.
+func (c *Cluster) WorkScale(role core.Role) float64 {
+	configured := c.cfg.SimNodes
+	if role == core.RoleAnalysis {
+		configured = c.cfg.AnaNodes
+	}
+	alive := c.AliveByRole(role)
+	if alive <= 0 || alive == configured {
+		return 1
+	}
+	return float64(configured) / float64(alive)
+}
+
+// Measure fills the identity, health and cap fields of a NodeMeasure
+// for node i. Dead nodes report zero cap (and callers leave the time
+// and power fields zero), the convention the allocators rely on to
+// avoid re-injecting a corpse's stale cap into the budget pool.
+func (c *Cluster) Measure(i int) core.NodeMeasure {
+	h := c.Health(i)
+	m := core.NodeMeasure{NodeID: i, Health: h, Role: c.roles[i]}
+	if h.Alive() {
+		m.Cap = c.nodes[i].RAPL().LongCap()
+	}
+	return m
+}
+
+// Advance applies the fault plan cluster-wide for the given 1-based
+// synchronization index (the sequential driver's path, called at the
+// top of each interval: an event planned for sync k is in force before
+// interval k executes). It returns the transitions fired, in node
+// order.
+func (c *Cluster) Advance(t units.Seconds, sync int) []Transition {
+	if c.cfg.Faults.Empty() {
+		return nil
+	}
+	var trs []Transition
+	for i := range c.nodes {
+		trs = append(trs, c.apply(i, t, sync)...)
+	}
+	return trs
+}
+
+// Apply applies the fault plan for one node (the rank-parallel path:
+// each rank calls it for its own node right before PowerAlloc). It
+// returns the transitions fired and whether the node is now dead.
+func (c *Cluster) Apply(id int, t units.Seconds, sync int) ([]Transition, bool) {
+	trs := c.apply(id, t, sync)
+	return trs, !c.Alive(id)
+}
+
+// apply advances one node's health to the plan's state at sync.
+func (c *Cluster) apply(id int, t units.Seconds, sync int) []Transition {
+	plan := c.cfg.Faults
+	if plan.Empty() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.health[id] == core.Dead {
+		return nil
+	}
+	role := c.roles[id]
+	if ks := plan.KillSync(id); ks != 0 && sync >= ks {
+		from := c.health[id]
+		if from == core.Degraded {
+			// The excursion ends with the node: keep the degraded gauge
+			// consistent before counting the kill.
+			c.cfg.Telemetry.NodeRecovered(float64(t), id, role.String(), sync)
+		}
+		c.health[id] = core.Dead
+		c.slow[id] = 1
+		if role == core.RoleSimulation {
+			c.aliveSim--
+		} else {
+			c.aliveAna--
+		}
+		c.cfg.Telemetry.NodeKilled(float64(t), id, role.String(), sync, c.aliveSim, c.aliveAna)
+		return []Transition{{NodeID: id, Role: role, From: from, To: core.Dead, Factor: 1, Sync: sync, T: t}}
+	}
+	f := plan.SlowFactor(id, sync)
+	if f == c.slow[id] {
+		return nil
+	}
+	from := c.health[id]
+	c.slow[id] = f
+	c.nodes[id].SetSlowFactor(f)
+	if f == 1 {
+		c.health[id] = core.Healthy
+		c.cfg.Telemetry.NodeRecovered(float64(t), id, role.String(), sync)
+		return []Transition{{NodeID: id, Role: role, From: from, To: core.Healthy, Factor: 1, Sync: sync, T: t}}
+	}
+	c.health[id] = core.Degraded
+	if from == core.Healthy {
+		c.cfg.Telemetry.NodeDegraded(float64(t), id, role.String(), sync, f)
+	}
+	// A factor change inside an excursion (overlapping windows) is
+	// recorded in the transition log but not re-counted by telemetry.
+	return []Transition{{NodeID: id, Role: role, From: from, To: core.Degraded, Factor: f, Sync: sync, T: t}}
+}

@@ -88,6 +88,14 @@ func (h *Hierarchical) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		// Node set changed mid-run: reset the intra level.
 		h.offsets = make([]units.Watts, len(nodes))
 	}
+	// A dead node's offset is retired: its partition share re-enters
+	// through level 1's live-membership division, so holding its
+	// zero-sum IOU would skew the survivors.
+	for i, n := range nodes {
+		if n.Health == Dead {
+			h.offsets[i] = 0
+		}
+	}
 
 	// Level 1: the partition split.
 	caps := h.seesaw.Allocate(step, nodes)
@@ -108,7 +116,10 @@ func (h *Hierarchical) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	h.balancePartition(RoleAnalysis, nodes)
 
 	out := make([]units.Watts, len(nodes))
-	for i := range nodes {
+	for i, n := range nodes {
+		if n.Health == Dead {
+			continue // dead nodes keep a zero cap
+		}
 		out[i] = units.ClampWatts(caps[i]+h.offsets[i], h.cfg.Constraints.MinCap, h.cfg.Constraints.MaxCap)
 	}
 	return out
@@ -119,7 +130,7 @@ func (h *Hierarchical) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 func (h *Hierarchical) balancePartition(role Role, nodes []NodeMeasure) {
 	fast, slow := -1, -1
 	for i, n := range nodes {
-		if n.Role != role || n.BusyTime <= 0 {
+		if n.Role != role || n.Health == Dead || n.BusyTime <= 0 {
 			continue
 		}
 		if fast < 0 || n.BusyTime < nodes[fast].BusyTime {

@@ -34,19 +34,71 @@ const (
 	RoleAnalysis
 )
 
-// String returns "sim" or "ana".
+// String returns "sim" or "ana". Invalid roles render with the
+// offending value rather than being folded into a partition.
 func (r Role) String() string {
-	if r == RoleSimulation {
+	switch r {
+	case RoleSimulation:
 		return "sim"
+	case RoleAnalysis:
+		return "ana"
+	default:
+		return fmt.Sprintf("invalid-role(%d)", int(r))
 	}
-	return "ana"
 }
+
+// Valid reports whether r is a defined partition role.
+func (r Role) Valid() bool { return r == RoleSimulation || r == RoleAnalysis }
+
+// Health is a node's lifecycle state as the cluster layer tracks it.
+// The zero value is Healthy, so measurements built by fault-unaware
+// callers remain correct.
+type Health int
+
+// Lifecycle states.
+const (
+	// Healthy nodes run at full speed.
+	Healthy Health = iota
+	// Degraded nodes still execute work but under a transient
+	// slowdown (a fault-plan excursion); they stay in the allocation.
+	Degraded
+	// Dead nodes are gone: they execute nothing, draw no power, and
+	// the allocators exclude them, redistributing their budget share.
+	Dead
+)
+
+// String names the state.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("invalid-health(%d)", int(h))
+	}
+}
+
+// Alive reports whether the node still executes work.
+func (h Health) Alive() bool { return h != Dead }
 
 // NodeMeasure is what one node reports for the interval between two
 // invocations of the allocator.
 type NodeMeasure struct {
+	// NodeID is the node's stable identifier (cosim node index /
+	// insitu world rank); it survives membership changes, so a policy
+	// can correlate a node's measurements across intervals even after
+	// other nodes die.
+	NodeID int
 	// Role is the node's partition membership.
 	Role Role
+	// Health is the node's lifecycle state. Dead nodes report zero
+	// times and power and are excluded from allocation; their budget
+	// share is redistributed to the survivors within the constraint
+	// clamps.
+	Health Health
 	// Time is the interval between the node's consecutive allocator
 	// calls (poli_power_alloc is invoked immediately before each
 	// synchronization, so a faster node's interval includes its wait at
@@ -135,9 +187,18 @@ func EvenSplit(c Constraints, nodes int) units.Watts {
 
 // partitionTotals aggregates per-node measurements into the partition
 // quantities SeeSAw's formulation uses: the slowest node time and the
-// summed power of each partition.
+// summed power of each partition. Dead nodes are excluded, so the
+// returned counts are the partitions' live memberships; a measurement
+// with an invalid role panics with the offending value rather than
+// being silently folded into a partition.
 func partitionTotals(nodes []NodeMeasure) (simT, anaT units.Seconds, simP, anaP units.Watts, nSim, nAna int) {
-	for _, n := range nodes {
+	for i, n := range nodes {
+		if !n.Role.Valid() {
+			panic(fmt.Sprintf("core: measurement %d (node id %d) has invalid role %d", i, n.NodeID, int(n.Role)))
+		}
+		if n.Health == Dead {
+			continue
+		}
 		switch n.Role {
 		case RoleSimulation:
 			nSim++
@@ -156,11 +217,23 @@ func partitionTotals(nodes []NodeMeasure) (simT, anaT units.Seconds, simP, anaP 
 	return
 }
 
+// capConservationEps tolerates float rounding when checking that
+// clamped partition caps account for the whole budget.
+const capConservationEps = units.Watts(1e-6)
+
 // clampPartitionCaps enforces the delta_min/delta_max rule of Section
 // IV-A on per-node partition caps pS, pA for nSim and nAna nodes under
 // budget C: if one partition's per-node cap falls outside the supported
 // range it is pinned to the bound and the other partition receives the
 // remaining power; handling delta_max takes priority in ties.
+//
+// When both partitions land outside the range (the double-pin case) the
+// second clamp used to leave part of the budget silently unassigned —
+// or over-assigned, when one partition pinned at delta_max forces the
+// other below delta_min. An explicit remainder pass now pins leftover
+// budget onto whichever partition still has headroom (simulation first,
+// deterministically), and conservation is asserted: leftover power with
+// headroom remaining, or an overdraft with slack remaining, panics.
 func clampPartitionCaps(pS, pA units.Watts, nSim, nAna int, c Constraints) (units.Watts, units.Watts) {
 	remainder := func(pinned units.Watts, nPinned, nOther int) units.Watts {
 		if nOther == 0 {
@@ -168,6 +241,15 @@ func clampPartitionCaps(pS, pA units.Watts, nSim, nAna int, c Constraints) (unit
 		}
 		rest := (c.Budget - pinned*units.Watts(nPinned)) / units.Watts(nOther)
 		return units.ClampWatts(rest, c.MinCap, c.MaxCap)
+	}
+	if nSim <= 0 && nAna <= 0 {
+		return pS, pA
+	}
+	if nSim <= 0 {
+		return pS, units.ClampWatts(c.Budget/units.Watts(nAna), c.MinCap, c.MaxCap)
+	}
+	if nAna <= 0 {
+		return units.ClampWatts(c.Budget/units.Watts(nSim), c.MinCap, c.MaxCap), pA
 	}
 	// delta_max first (tie priority).
 	switch {
@@ -186,18 +268,64 @@ func clampPartitionCaps(pS, pA units.Watts, nSim, nAna int, c Constraints) (unit
 		pA = c.MinCap
 		pS = remainder(pA, nAna, nSim)
 	}
+	// Explicit remainder pinning for the double-pin case.
+	leftover := c.Budget - pS*units.Watts(nSim) - pA*units.Watts(nAna)
+	if leftover > capConservationEps {
+		// Budget left on the table: grant it to partitions with
+		// headroom below delta_max.
+		if room := (c.MaxCap - pS) * units.Watts(nSim); room > 0 {
+			g := min(leftover, room)
+			pS += g / units.Watts(nSim)
+			leftover -= g
+		}
+		if room := (c.MaxCap - pA) * units.Watts(nAna); leftover > 0 && room > 0 {
+			g := min(leftover, room)
+			pA += g / units.Watts(nAna)
+			leftover -= g
+		}
+		if leftover > capConservationEps && (pS < c.MaxCap-capConservationEps || pA < c.MaxCap-capConservationEps) {
+			panic(fmt.Sprintf("core: clampPartitionCaps leaked %v of budget %v with headroom remaining (pS=%v pA=%v nSim=%d nAna=%d)",
+				leftover, c.Budget, pS, pA, nSim, nAna))
+		}
+	} else if leftover < -capConservationEps {
+		// Overdraft: one pin forced the other partition's remainder
+		// below delta_min; trim partitions still above it.
+		debt := -leftover
+		if slack := (pS - c.MinCap) * units.Watts(nSim); slack > 0 {
+			t := min(debt, slack)
+			pS -= t / units.Watts(nSim)
+			debt -= t
+		}
+		if slack := (pA - c.MinCap) * units.Watts(nAna); debt > 0 && slack > 0 {
+			t := min(debt, slack)
+			pA -= t / units.Watts(nAna)
+			debt -= t
+		}
+		if debt > capConservationEps && (pS > c.MinCap+capConservationEps || pA > c.MinCap+capConservationEps) {
+			panic(fmt.Sprintf("core: clampPartitionCaps overdrew %v beyond budget %v with slack remaining (pS=%v pA=%v nSim=%d nAna=%d)",
+				debt, c.Budget, pS, pA, nSim, nAna))
+		}
+	}
 	return pS, pA
 }
 
 // expandPartitionCaps materializes per-node cap slices from per-node
-// partition values, aligned with the nodes slice.
+// partition values, aligned with the nodes slice. Dead nodes receive a
+// zero cap (the drivers never write zero caps to hardware); invalid
+// roles panic with the offending value.
 func expandPartitionCaps(nodes []NodeMeasure, pS, pA units.Watts) []units.Watts {
 	caps := make([]units.Watts, len(nodes))
 	for i, n := range nodes {
-		if n.Role == RoleSimulation {
+		if n.Health == Dead {
+			continue
+		}
+		switch n.Role {
+		case RoleSimulation:
 			caps[i] = pS
-		} else {
+		case RoleAnalysis:
 			caps[i] = pA
+		default:
+			panic(fmt.Sprintf("core: measurement %d (node id %d) has invalid role %d", i, n.NodeID, int(n.Role)))
 		}
 	}
 	return caps

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -29,6 +30,50 @@ func TestRoleString(t *testing.T) {
 	if RoleSimulation.String() != "sim" || RoleAnalysis.String() != "ana" {
 		t.Error("role strings wrong")
 	}
+	// An unknown role must surface its value, not read as a partition.
+	if got := Role(7).String(); got != "invalid-role(7)" {
+		t.Errorf("invalid role renders as %q", got)
+	}
+	if !RoleSimulation.Valid() || !RoleAnalysis.Valid() || Role(2).Valid() || Role(-1).Valid() {
+		t.Error("Role.Valid wrong")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	var h Health
+	if h != Healthy {
+		t.Error("zero Health is not Healthy")
+	}
+	if !Healthy.Alive() || !Degraded.Alive() || Dead.Alive() {
+		t.Error("Health.Alive wrong")
+	}
+	for h, want := range map[Health]string{Healthy: "healthy", Degraded: "degraded", Dead: "dead", Health(9): "invalid-health(9)"} {
+		if got := h.String(); got != want {
+			t.Errorf("Health(%d).String() = %q, want %q", int(h), got, want)
+		}
+	}
+}
+
+func TestPartitionTotalsInvalidRolePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("invalid role did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "invalid role 3") {
+			t.Errorf("panic does not name the offending value: %v", r)
+		}
+	}()
+	partitionTotals([]NodeMeasure{{NodeID: 5, Role: Role(3)}})
+}
+
+func TestExpandPartitionCapsInvalidRolePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid role did not panic")
+		}
+	}()
+	expandPartitionCaps([]NodeMeasure{{Role: Role(-2)}}, 110, 110)
 }
 
 func TestConstraintsValidate(t *testing.T) {
@@ -45,6 +90,37 @@ func TestConstraintsValidate(t *testing.T) {
 	for i, c := range bad {
 		if err := c.Validate(8); err == nil {
 			t.Errorf("constraints %d should be rejected", i)
+		}
+	}
+}
+
+// TestConstraintsValidateShrinkingNodes covers the membership sizes a
+// fault plan produces: validation is against the live node count, which
+// shrinks as nodes die.
+func TestConstraintsValidateShrinkingNodes(t *testing.T) {
+	c := testConstraints() // 880 W, [98, 215]
+	// nodes=0: the per-node feasibility check is vacuous, the rest of
+	// the constraint sanity checks still apply.
+	if err := c.Validate(0); err != nil {
+		t.Errorf("Validate(0): %v", err)
+	}
+	if err := (Constraints{Budget: -1, MinCap: 98, MaxCap: 215}).Validate(0); err == nil {
+		t.Error("Validate(0) skipped the budget sanity check")
+	}
+	// Budget exactly at MinCap*nodes is feasible (every node pinned at
+	// delta_min), one node more is not.
+	exact := Constraints{Budget: 98 * 8, MinCap: 98, MaxCap: 215}
+	if err := exact.Validate(8); err != nil {
+		t.Errorf("budget exactly at MinCap*nodes rejected: %v", err)
+	}
+	if err := exact.Validate(9); err == nil {
+		t.Error("budget below MinCap*9 accepted")
+	}
+	// Post-kill membership: the same constraints become *easier* to
+	// satisfy as nodes die — every count down from 8 must validate.
+	for n := 8; n >= 0; n-- {
+		if err := c.Validate(n); err != nil {
+			t.Errorf("Validate(%d) after kills: %v", n, err)
 		}
 	}
 }
@@ -74,6 +150,35 @@ func TestEvenSplit(t *testing.T) {
 	}
 }
 
+// TestEvenSplitShrinkingNodes walks the node count down as kills would:
+// the per-node share grows monotonically and saturates at delta_max,
+// and the degenerate zero-membership split stays zero.
+func TestEvenSplitShrinkingNodes(t *testing.T) {
+	c := testConstraints() // 880 W for what was 8 nodes
+	prev := units.Watts(0)
+	for n := 8; n >= 1; n-- {
+		got := EvenSplit(c, n)
+		if got < c.MinCap || got > c.MaxCap {
+			t.Errorf("EvenSplit(%d) = %v outside [%v, %v]", n, got, c.MinCap, c.MaxCap)
+		}
+		if got < prev {
+			t.Errorf("EvenSplit(%d) = %v shrank below the %d-node share %v", n, got, n+1, prev)
+		}
+		prev = got
+	}
+	if got := EvenSplit(c, 4); got != 215 {
+		t.Errorf("EvenSplit(4) = %v, want saturation at delta_max (880/4 > 215)", got)
+	}
+	if got := EvenSplit(c, 0); got != 0 {
+		t.Errorf("EvenSplit(0) = %v, want 0", got)
+	}
+	// Budget exactly at MinCap*nodes: the split sits on delta_min.
+	exact := Constraints{Budget: 98 * 6, MinCap: 98, MaxCap: 215}
+	if got := EvenSplit(exact, 6); got != 98 {
+		t.Errorf("exact-minimum EvenSplit = %v, want 98", got)
+	}
+}
+
 func TestClampPartitionCaps(t *testing.T) {
 	c := testConstraints() // budget 880, caps [98,215], 4+4 nodes
 
@@ -87,19 +192,42 @@ func TestClampPartitionCaps(t *testing.T) {
 		t.Errorf("ana cap = %v, want remainder %v", a, wantA)
 	}
 
-	// Above delta_max: pinned at 215.
-	s, a = clampPartitionCaps(300, 10, 4, 4, c)
+	// Above delta_max with enough budget: pinned at 215.
+	rich := Constraints{Budget: 215*4 + 120*4, MinCap: 98, MaxCap: 215}
+	s, a = clampPartitionCaps(300, 10, 4, 4, rich)
 	if s != 215 {
 		t.Errorf("sim cap = %v, want delta_max", s)
 	}
-	if a < c.MinCap || a > c.MaxCap {
-		t.Errorf("ana cap %v outside range", a)
+	if a != 120 {
+		t.Errorf("ana cap = %v, want the 120 remainder", a)
+	}
+
+	// The double-pin case: pS above delta_max, pA below delta_min, and
+	// the budget cannot afford delta_max for the pinned side. The old
+	// clamp kept sim at 215 and over-committed the budget by 372 W;
+	// conservation now trims sim to what the budget affords.
+	s, a = clampPartitionCaps(300, 10, 4, 4, c)
+	if a != 98 {
+		t.Errorf("ana cap = %v, want delta_min 98", a)
+	}
+	if want := (c.Budget - 98*4) / 4; s != want {
+		t.Errorf("sim cap = %v, want affordable remainder %v", s, want)
 	}
 
 	// In range: untouched.
 	s, a = clampPartitionCaps(120, 100, 4, 4, c)
 	if s != 120 || a != 100 {
 		t.Errorf("in-range caps modified: %v/%v", s, a)
+	}
+
+	// Empty partitions: the live side receives the whole clamped budget.
+	s, a = clampPartitionCaps(110, 110, 4, 0, c)
+	if s != 215 { // 880/4 = 220, clamped to delta_max
+		t.Errorf("sim-only cap = %v, want 215", s)
+	}
+	_, a = clampPartitionCaps(110, 110, 0, 4, c)
+	if a != 215 {
+		t.Errorf("ana-only cap = %v, want 215", a)
 	}
 }
 
@@ -113,6 +241,38 @@ func TestClampPartitionCapsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestClampPartitionCapsConservation: for any inputs and any feasible
+// split of the live membership, the clamped caps account for the whole
+// budget exactly — unless the range itself forbids it (everything
+// pinned at delta_max still undershoots an over-rich budget).
+func TestClampPartitionCapsConservation(t *testing.T) {
+	f := func(rawS, rawA float64, rawSim, rawAna uint8) bool {
+		nSim := 1 + int(rawSim%8)
+		nAna := 1 + int(rawAna%8)
+		c := Constraints{Budget: 110 * units.Watts(nSim+nAna), MinCap: 98, MaxCap: 215}
+		ps := units.Watts(math.Abs(math.Mod(rawS, 400)))
+		pa := units.Watts(math.Abs(math.Mod(rawA, 400)))
+		s, a := clampPartitionCaps(ps, pa, nSim, nAna, c)
+		total := s*units.Watts(nSim) + a*units.Watts(nAna)
+		return math.Abs(float64(total-c.Budget)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Post-kill membership: the live counts shrink but the budget does
+	// not; conservation holds until delta_max saturates, then every
+	// survivor is pinned there.
+	c := testConstraints() // 880 W for what was 4+4
+	s, a := clampPartitionCaps(110, 110, 3, 4, c)
+	if got := s*3 + a*4; math.Abs(float64(got-c.Budget)) > 1e-6 {
+		t.Errorf("3+4 survivors allocate %v of %v", got, c.Budget)
+	}
+	s, a = clampPartitionCaps(110, 110, 2, 2, c) // 880 > 215*4
+	if s != 215 || a != 215 {
+		t.Errorf("saturated survivors = %v/%v, want delta_max pins", s, a)
 	}
 }
 
@@ -131,6 +291,32 @@ func TestPartitionTotals(t *testing.T) {
 	}
 }
 
+// TestPartitionTotalsExcludesDead: a killed node leaves the live counts
+// and contributes neither time nor power.
+func TestPartitionTotalsExcludesDead(t *testing.T) {
+	ms := measures(5, 3, 100, 105, 110)
+	ms[0].Health = Dead
+	ms[0].Time, ms[0].Power = 0, 0
+	ms[5].Health = Dead
+	ms[5].Time, ms[5].Power = 99, 500 // stale values on a corpse must not count
+	simT, anaT, simP, anaP, nSim, nAna := partitionTotals(ms)
+	if nSim != 3 || nAna != 3 {
+		t.Errorf("live sizes = %d/%d, want 3/3", nSim, nAna)
+	}
+	if simP != 300 || anaP != 315 {
+		t.Errorf("live powers = %v/%v", simP, anaP)
+	}
+	if simT != 5 || anaT != 3 {
+		t.Errorf("live times = %v/%v", simT, anaT)
+	}
+	// Degraded nodes stay in the membership.
+	ms[1].Health = Degraded
+	_, _, _, _, nSim, _ = partitionTotals(ms)
+	if nSim != 3 {
+		t.Errorf("degraded node dropped from membership: nSim = %d", nSim)
+	}
+}
+
 func TestExpandPartitionCaps(t *testing.T) {
 	ms := measures(1, 1, 100, 100, 110)
 	caps := expandPartitionCaps(ms, 120, 100)
@@ -142,5 +328,17 @@ func TestExpandPartitionCaps(t *testing.T) {
 		if caps[i] != want {
 			t.Errorf("cap[%d] = %v, want %v", i, caps[i], want)
 		}
+	}
+}
+
+func TestExpandPartitionCapsDeadGetZero(t *testing.T) {
+	ms := measures(1, 1, 100, 100, 110)
+	ms[2].Health = Dead
+	caps := expandPartitionCaps(ms, 120, 100)
+	if caps[2] != 0 {
+		t.Errorf("dead node cap = %v, want 0", caps[2])
+	}
+	if caps[0] != 120 || caps[4] != 100 {
+		t.Errorf("live caps wrong: %v", caps)
 	}
 }

@@ -86,7 +86,14 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	c := p.cfg.Constraints
 	caps := make([]units.Watts, len(nodes))
 	needy := make([]int, 0, len(nodes))
+	alive := 0
 	for i, n := range nodes {
+		if n.Health == Dead {
+			// Dead nodes hold no cap; their budget share returns to
+			// the survivors in the re-anchor pass below.
+			continue
+		}
+		alive++
 		caps[i] = n.Cap
 		if n.Power >= n.Cap-p.cfg.AtCapMargin {
 			// At the cap: the node "requires more power".
@@ -95,14 +102,15 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	}
 	// "The power-aware algorithm takes action only if nodes are at the
 	// power cap, otherwise it assumes the application has available
-	// power" (Section VII-A).
-	if len(needy) == 0 {
+	// power" (Section VII-A). With dead nodes present it still acts,
+	// to hand their share back.
+	if alive == 0 || (len(needy) == 0 && alive == len(nodes)) {
 		return nil
 	}
 
 	var pool units.Watts
 	for i, n := range nodes {
-		if n.Power >= n.Cap-p.cfg.AtCapMargin {
+		if n.Health == Dead || n.Power >= n.Cap-p.cfg.AtCapMargin {
 			continue
 		}
 		// Below the cap: reclaim the excess beyond a headroom cushion,
@@ -111,6 +119,23 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		if target < caps[i] {
 			pool += caps[i] - target
 			caps[i] = target
+		}
+	}
+	// Dynamic membership: any budget not covered by the live caps
+	// (a dead node's former share) joins the pool, bounded by what the
+	// survivors can absorb under delta_max.
+	var capTotal units.Watts
+	for i, n := range nodes {
+		if n.Health != Dead {
+			capTotal += caps[i]
+		}
+	}
+	if orphan := c.Budget - capTotal - pool; orphan > capConservationEps {
+		if room := c.MaxCap*units.Watts(alive) - capTotal; orphan > room {
+			orphan = room
+		}
+		if orphan > 0 {
+			pool += orphan
 		}
 	}
 
@@ -131,8 +156,11 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	// Any unplaceable remainder (all needy nodes at delta_max, or no
 	// needy nodes at all) is returned evenly so the budget isn't leaked.
 	if pool > 0 {
-		share := pool / units.Watts(len(caps))
-		for i := range caps {
+		share := pool / units.Watts(alive)
+		for i, n := range nodes {
+			if n.Health == Dead {
+				continue
+			}
 			caps[i] = units.ClampWatts(caps[i]+share, c.MinCap, c.MaxCap)
 		}
 	}

@@ -109,13 +109,19 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	}
 
 	// Target runtime: a fixed percentage below the max median runtime.
+	// Dead nodes report no time and never set the target.
 	var maxT units.Seconds
+	alive := 0
 	for _, n := range nodes {
+		if n.Health == Dead {
+			continue
+		}
+		alive++
 		if timeOf(n) > maxT {
 			maxT = timeOf(n)
 		}
 	}
-	if maxT <= 0 {
+	if maxT <= 0 || alive == 0 {
 		return nil
 	}
 	target := units.Seconds(float64(maxT) * (1 - t.cfg.TargetSlack))
@@ -124,6 +130,11 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	var pool units.Watts
 	slow := make([]int, 0, len(nodes))
 	for i, n := range nodes {
+		if n.Health == Dead {
+			// Dead nodes hold no cap; their former share re-enters
+			// the pool below.
+			continue
+		}
 		caps[i] = n.Cap
 		if timeOf(n) < target {
 			// Faster than target: slow it down by moving step Watts
@@ -137,6 +148,23 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 			pool += give
 		} else {
 			slow = append(slow, i)
+		}
+	}
+	// Dynamic membership: budget not covered by the live caps (a dead
+	// node's former share) joins the pool, bounded by what the
+	// survivors can absorb under delta_max.
+	var capTotal units.Watts
+	for i, n := range nodes {
+		if n.Health != Dead {
+			capTotal += caps[i]
+		}
+	}
+	if orphan := c.Budget - capTotal - pool; orphan > capConservationEps {
+		if room := c.MaxCap*units.Watts(alive) - capTotal; orphan > room {
+			orphan = room
+		}
+		if orphan > 0 {
+			pool += orphan
 		}
 	}
 
@@ -156,8 +184,11 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	// "If there is slack power, it is redistributed to all nodes
 	// equally."
 	if pool > 0 {
-		share := pool / units.Watts(len(caps))
-		for i := range caps {
+		share := pool / units.Watts(alive)
+		for i, n := range nodes {
+			if n.Health == Dead {
+				continue
+			}
 			caps[i] = units.ClampWatts(caps[i]+share, c.MinCap, c.MaxCap)
 		}
 	}

@@ -25,7 +25,9 @@ import (
 	"context"
 	"fmt"
 
+	"seesaw/internal/cluster"
 	"seesaw/internal/core"
+	"seesaw/internal/fault"
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
 	"seesaw/internal/rapl"
@@ -87,6 +89,13 @@ type Config struct {
 	// first node of each partition so power traces can be resampled
 	// (Figure 1).
 	TraceSegments bool
+	// Faults is an optional deterministic fault plan: node kills and
+	// slow-node excursions keyed to the synchronization schedule (an
+	// event planned for sync k is in force before interval k executes).
+	// Killed nodes stop executing and draw no power; their share of the
+	// partition's domain-decomposed work shifts onto the survivors, and
+	// the policy sees them as Dead measures. Nil means a fault-free run.
+	Faults *fault.Plan
 	// Telemetry, when non-nil, receives metrics and structured events
 	// from the run: cap writes and throttling per partition (from each
 	// node's RAPL domain), one SyncBarrier per interval, idle troughs,
@@ -151,6 +160,11 @@ type Result struct {
 	SimSegments, AnaSegments []Segment
 	// FinalCaps are the per-node caps at the end of the run.
 	FinalCaps []units.Watts
+	// FaultLog records the health transitions the fault plan fired, in
+	// firing order (empty for fault-free runs).
+	FaultLog []cluster.Transition
+	// AliveSim and AliveAna are the partitions' live sizes at the end.
+	AliveSim, AliveAna int
 }
 
 // Run executes the co-simulation. The context is checked at every
@@ -167,39 +181,35 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	nSim, nAna := spec.SimNodes, spec.AnaNodes
 	nTotal := nSim + nAna
 
-	runSeed := cfg.RunSeed
-	if runSeed == 0 {
-		runSeed = cfg.Seed
-	}
-	nodes := make([]*machine.Node, nTotal)
-	roles := make([]core.Role, nTotal)
-	for i := 0; i < nTotal; i++ {
-		nodes[i] = machine.NewNodeWithSeeds(i, cfg.Rapl, cfg.Machine, cfg.Noise, cfg.Seed, runSeed)
-		if i < nSim {
-			roles[i] = core.RoleSimulation
-		} else {
-			roles[i] = core.RoleAnalysis
-		}
-		if cfg.Telemetry != nil {
-			// Metrics aggregate per partition; the event stream carries
-			// one representative node per partition to stay readable at
-			// 1024 nodes.
-			eventful := i == 0 || i == nSim
-			nodes[i].RAPL().SetTelemetry(cfg.Telemetry, roles[i].String(), eventful)
-		}
+	// The cluster layer owns node construction and health: it builds the
+	// same nodes this driver used to wire up itself (so fault-free runs
+	// are unchanged) and applies the fault plan on the virtual clock.
+	cl, err := cluster.New(cluster.Config{
+		SimNodes:  nSim,
+		AnaNodes:  nAna,
+		Rapl:      cfg.Rapl,
+		Machine:   cfg.Machine,
+		Noise:     cfg.Noise,
+		JobSeed:   cfg.Seed,
+		RunSeed:   cfg.RunSeed,
+		Faults:    cfg.Faults,
+		Telemetry: cfg.Telemetry,
+	})
+	if err != nil {
+		return nil, err
 	}
 	var clock units.Seconds
 	policy := core.Instrument(cfg.Policy, cfg.Telemetry, func() float64 { return float64(clock) })
 	// Install initial caps.
 	if cfg.CapMode != CapNone {
-		for i, n := range nodes {
+		for i := 0; i < nTotal; i++ {
 			cap := cfg.InitialAnaCap
-			if roles[i] == core.RoleSimulation {
+			if cl.Role(i) == core.RoleSimulation {
 				cap = cfg.InitialSimCap
 			}
-			n.RAPL().SetLongCap(cap)
+			cl.Node(i).RAPL().SetLongCap(cap)
 			if cfg.CapMode == CapLongShort {
-				n.RAPL().SetShortCap(cap)
+				cl.Node(i).RAPL().SetShortCap(cap)
 			}
 		}
 	}
@@ -242,20 +252,38 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		step, syncing := iv.step, iv.sync
 
+		// 0. Fault plan: transitions planned for this interval fire
+		// before it executes. A kill shifts the dead node's share of the
+		// partition's domain-decomposed work onto the survivors.
+		if trs := cl.Advance(clock, syncIdx+1); len(trs) > 0 {
+			res.FaultLog = append(res.FaultLog, trs...)
+		}
+		scale := [2]float64{}
+		scale[core.RoleSimulation] = cl.WorkScale(core.RoleSimulation)
+		scale[core.RoleAnalysis] = cl.WorkScale(core.RoleAnalysis)
+
 		simPhases := spec.SimIntervalIdx(prevStep, step, syncIdx)
 		var anaPhases []machine.Phase
 		if syncing {
 			anaPhases = spec.AnaInterval(step)
 		}
 
-		// 1. Execute every node's interval.
-		for i, n := range nodes {
+		// 1. Execute every live node's interval.
+		for i := 0; i < nTotal; i++ {
+			n := cl.Node(i)
+			if !cl.Alive(i) {
+				busy[i] = 0
+				continue
+			}
 			var t units.Seconds
 			phases := simPhases
-			if roles[i] == core.RoleAnalysis {
+			if cl.Role(i) == core.RoleAnalysis {
 				phases = anaPhases
 			}
 			for _, ph := range phases {
+				if s := scale[cl.Role(i)]; s != 1 {
+					ph.Nominal = units.Seconds(float64(ph.Nominal) * s)
+				}
 				exec := n.Run(ph, cfg.Noise)
 				t += exec.Duration
 				if cfg.TraceSegments && (i == 0 || i == nSim) {
@@ -280,10 +308,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				wall = t
 			}
 		}
-		for i, n := range nodes {
+		for i := 0; i < nTotal; i++ {
+			if !cl.Alive(i) {
+				continue
+			}
 			if wait := wall - busy[i]; wait > 0 {
-				exec := n.Idle(wait)
-				cfg.Telemetry.IdleWait(roles[i].String(), float64(wait))
+				exec := cl.Node(i).Idle(wait)
+				cfg.Telemetry.IdleWait(cl.Role(i).String(), float64(wait))
 				if cfg.TraceSegments && (i == 0 || i == nSim) {
 					seg := Segment{Start: clock + busy[i], Duration: wait, Power: exec.Power}
 					if i == 0 {
@@ -298,12 +329,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 		// 3. Measurements, exactly as PoLiMER reports them. The epoch
 		// time additionally folds in part of the synchronization wait,
-		// as a loop-level monitor (GEOPM) would observe it.
-		for i, n := range nodes {
+		// as a loop-level monitor (GEOPM) would observe it. Dead nodes
+		// report zeroed measures (Cap 0 keeps the allocators from
+		// re-injecting a corpse's stale cap into the budget pool).
+		for i := 0; i < nTotal; i++ {
+			n := cl.Node(i)
+			if !cl.Alive(i) {
+				measures[i] = core.NodeMeasure{NodeID: i, Health: core.Dead, Role: cl.Role(i)}
+				continue
+			}
 			e := n.RAPL().Energy() - lastEnergy[i]
 			lastEnergy[i] = n.RAPL().Energy()
 			measures[i] = core.NodeMeasure{
-				Role:      roles[i],
+				NodeID:    i,
+				Health:    cl.Health(i),
+				Role:      cl.Role(i),
 				Time:      wall, // allocator-to-allocator interval: work + sync wait
 				BusyTime:  busy[i],
 				EpochTime: busy[i] + (wall-busy[i])*epochWaitShare,
@@ -317,9 +357,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			cfg.Telemetry.SyncBarrier(float64(clock), rec.Step,
 				float64(wall), float64(rec.SimTime), float64(rec.AnaTime), rec.Slack(), float64(overhead))
 			// Job-level budget check: summed measured power against the
-			// global budget (small tolerance for enforcement slack).
+			// global budget (small tolerance for enforcement slack). Dead
+			// nodes draw nothing, so the sum covers live nodes only.
 			if cfg.CapMode != CapNone && cfg.Constraints.Budget > 0 {
-				total := float64(rec.SimPower)*float64(nSim) + float64(rec.AnaPower)*float64(nTotal-nSim)
+				aliveSim, aliveAna := cl.AliveCounts()
+				total := float64(rec.SimPower)*float64(aliveSim) + float64(rec.AnaPower)*float64(aliveAna)
 				if budget := float64(cfg.Constraints.Budget); total > budget*1.01 {
 					cfg.Telemetry.BudgetViolation(float64(clock), "job", total, budget, true)
 				}
@@ -331,8 +373,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if syncing && cfg.CapMode != CapNone {
 			caps := policy.Allocate(syncIdx+1, measures)
 			if caps != nil {
-				for i, n := range nodes {
-					if caps[i] > 0 && caps[i] != n.RAPL().LongCap() {
+				for i := 0; i < nTotal; i++ {
+					n := cl.Node(i)
+					if cl.Alive(i) && caps[i] > 0 && caps[i] != n.RAPL().LongCap() {
 						n.RAPL().SetLongCap(caps[i])
 						if cfg.CapMode == CapLongShort {
 							n.RAPL().SetShortCap(caps[i])
@@ -347,13 +390,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res.TotalTime = clock
-	for _, n := range nodes {
-		res.TotalEnergy += n.RAPL().Energy()
-	}
 	res.FinalCaps = make([]units.Watts, nTotal)
-	for i, n := range nodes {
-		res.FinalCaps[i] = n.RAPL().LongCap()
+	for i := 0; i < nTotal; i++ {
+		res.TotalEnergy += cl.Node(i).RAPL().Energy()
+		res.FinalCaps[i] = cl.Node(i).RAPL().LongCap()
 	}
+	res.AliveSim, res.AliveAna = cl.AliveCounts()
 	return res, nil
 }
 
@@ -369,6 +411,9 @@ func buildRecord(step int, measures []core.NodeMeasure, nSim int, overhead units
 	rec := trace.SyncRecord{Step: step, Overhead: overhead}
 	var nS, nA int
 	for _, m := range measures {
+		if m.Health == core.Dead {
+			continue // corpses carry no time or power
+		}
 		switch m.Role {
 		case core.RoleSimulation:
 			nS++

@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"kill:5@20",
+		"slow:3@10x2+15",
+		"kill:5@20,slow:3@10x2.5+15",
+		"kill:0@1,kill:7@3,slow:2@4x1.5+1",
+	}
+	for _, in := range cases {
+		p, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got := p.String(); got != in {
+			t.Errorf("Parse(%q).String() = %q", in, got)
+		}
+		again, err := Parse(p.String())
+		if err != nil || again.String() != p.String() {
+			t.Errorf("round-trip of %q unstable: %q, %v", in, again.String(), err)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("slow:3@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Events[0]
+	if e.Factor != DefaultSlowFactor || e.Window != DefaultSlowWindow {
+		t.Errorf("slow defaults: factor %g window %d, want %g/%d", e.Factor, e.Window, DefaultSlowFactor, DefaultSlowWindow)
+	}
+	if p, err := Parse("slow:3@10x3.5"); err != nil || p.Events[0].Factor != 3.5 || p.Events[0].Window != DefaultSlowWindow {
+		t.Errorf("factor-only slow: %+v, %v", p.Events[0], err)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if p, err := Parse("  "); p != nil || err != nil {
+		t.Errorf("blank spec: %v, %v", p, err)
+	}
+	for _, bad := range []string{"kill:5", "boom:1@2", "kill:x@2", "kill:1@y", "slow:1@2xq", "slow:1@2x2+z", "5@20"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ok, err := Parse("kill:5@20,slow:3@10x2+15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(8); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	bad := []struct {
+		plan *Plan
+		want string
+	}{
+		{&Plan{Events: []Event{{Kind: Kill, Node: 8, Sync: 1}}}, "outside"},
+		{&Plan{Events: []Event{{Kind: Kill, Node: -1, Sync: 1}}}, "outside"},
+		{&Plan{Events: []Event{{Kind: Kill, Node: 0, Sync: 0}}}, "1-based"},
+		{&Plan{Events: []Event{{Kind: Kill, Node: 0, Sync: 1}, {Kind: Kill, Node: 0, Sync: 2}}}, "twice"},
+		{&Plan{Events: []Event{{Kind: Slow, Node: 0, Sync: 1, Factor: 0, Window: 1}}}, "factor"},
+		{&Plan{Events: []Event{{Kind: Slow, Node: 0, Sync: 1, Factor: 2, Window: 0}}}, "window"},
+		{&Plan{Events: []Event{{Kind: Kind(9), Node: 0, Sync: 1}}}, "invalid kind"},
+	}
+	for _, c := range bad {
+		err := c.plan.Validate(8)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Validate(%v) = %v, want error containing %q", c.plan, err, c.want)
+		}
+	}
+	var nilPlan *Plan
+	if err := nilPlan.Validate(0); err != nil {
+		t.Errorf("nil plan: %v", err)
+	}
+}
+
+func TestQueriesNilSafe(t *testing.T) {
+	var p *Plan
+	if !p.Empty() || p.KilledBy(0, 100) || p.SlowFactor(0, 1) != 1 || p.KillSync(3) != 0 {
+		t.Error("nil plan queries not inert")
+	}
+	if p.String() != "" || p.Kills() != nil || p.Rebase(5) != nil {
+		t.Error("nil plan derivations not empty")
+	}
+}
+
+func TestKillQueries(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: Kill, Node: 4, Sync: 10},
+		{Kind: Kill, Node: 2, Sync: 3},
+	}}
+	if p.KilledBy(4, 9) {
+		t.Error("node 4 dead before its kill sync")
+	}
+	if !p.KilledBy(4, 10) || !p.KilledBy(4, 99) {
+		t.Error("node 4 not dead at/after its kill sync")
+	}
+	if p.KilledBy(1, 99) {
+		t.Error("unplanned node reported dead")
+	}
+	if got := p.Kills(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("Kills() = %v, want [2 4]", got)
+	}
+}
+
+func TestSlowFactorWindows(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: Slow, Node: 1, Sync: 5, Factor: 2, Window: 3},   // syncs 5,6,7
+		{Kind: Slow, Node: 1, Sync: 7, Factor: 1.5, Window: 2}, // syncs 7,8
+	}}
+	want := map[int]float64{4: 1, 5: 2, 6: 2, 7: 3, 8: 1.5, 9: 1}
+	for sync, f := range want {
+		if got := p.SlowFactor(1, sync); got != f {
+			t.Errorf("SlowFactor(1, %d) = %g, want %g", sync, got, f)
+		}
+	}
+	if p.SlowFactor(2, 6) != 1 {
+		t.Error("untargeted node slowed")
+	}
+}
+
+func TestRebase(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: Kill, Node: 0, Sync: 3},
+		{Kind: Kill, Node: 1, Sync: 12},
+		{Kind: Slow, Node: 2, Sync: 8, Factor: 2, Window: 6}, // syncs 8..13
+		{Kind: Slow, Node: 3, Sync: 2, Factor: 2, Window: 4}, // syncs 2..5, expired
+	}}
+	// An epoch boundary after 10 syncs: rebase by 10.
+	r := p.Rebase(10)
+	if r.KillSync(0) != 1 {
+		t.Errorf("past kill not clamped to sync 1: %d", r.KillSync(0))
+	}
+	if r.KillSync(1) != 2 {
+		t.Errorf("future kill mis-shifted: %d", r.KillSync(1))
+	}
+	// The slow on node 2 has 3 syncs left (11,12,13 -> 1,2,3).
+	for sync, want := range map[int]float64{1: 2, 3: 2, 4: 1} {
+		if got := r.SlowFactor(2, sync); got != want {
+			t.Errorf("rebased SlowFactor(2, %d) = %g, want %g", sync, got, want)
+		}
+	}
+	if r.SlowFactor(3, 1) != 1 {
+		t.Error("expired slow survived rebase")
+	}
+	// Rebasing a plan that only held expired slows yields nil.
+	exp := &Plan{Events: []Event{{Kind: Slow, Node: 0, Sync: 1, Factor: 2, Window: 2}}}
+	if exp.Rebase(10) != nil {
+		t.Error("fully expired plan did not rebase to nil")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(42, 16, 100, 2, 3)
+	b := Random(42, 16, 100, 2, 3)
+	if a.String() != b.String() {
+		t.Errorf("Random not deterministic:\n%s\n%s", a, b)
+	}
+	if c := Random(43, 16, 100, 2, 3); c.String() == a.String() {
+		t.Error("different seeds yield identical plans")
+	}
+	if err := a.Validate(16); err != nil {
+		t.Errorf("random plan invalid: %v", err)
+	}
+	if len(a.Kills()) != 2 {
+		t.Errorf("want 2 distinct kills, got %v", a.Kills())
+	}
+	if Random(0, 0, 10, 1, 1) != nil || Random(0, 4, 10, 0, 0) != nil {
+		t.Error("degenerate Random not nil")
+	}
+}
+
+func TestKilledError(t *testing.T) {
+	e := &KilledError{Node: 3, Sync: 7}
+	if !strings.Contains(e.Error(), "node 3") || !strings.Contains(e.Error(), "sync 7") {
+		t.Errorf("unhelpful error: %s", e.Error())
+	}
+}

@@ -1,0 +1,110 @@
+package insitu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"seesaw/internal/core"
+	"seesaw/internal/fault"
+	"seesaw/internal/telemetry"
+)
+
+// TestKillUnwindsAllRanks: a fault-plan kill mid-run takes the job down
+// through the runtime's poisoning path — every rank goroutine unwinds,
+// including ones blocked at collectives or in frame receives — and Run
+// surfaces the typed *fault.KilledError. Run with -race this also
+// proves the unwind leaves no rank goroutine behind touching shared
+// result state.
+func TestKillUnwindsAllRanks(t *testing.T) {
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 200)
+	cfg.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Kill, Node: 3, Sync: 20}}}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), cfg)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		var ke *fault.KilledError
+		if !errors.As(err, &ke) {
+			t.Fatalf("err = %v, want *fault.KilledError", err)
+		}
+		if ke.Node != 3 || ke.Sync != 20 {
+			t.Errorf("KilledError = %+v, want node 3 sync 20", ke)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after kill: rank goroutines leaked")
+	}
+}
+
+// TestKillEmitsTelemetry: the kill fires a NodeKilled event before the
+// job unwinds.
+func TestKillEmitsTelemetry(t *testing.T) {
+	hub := telemetry.New(telemetry.Options{})
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 100)
+	cfg.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Kill, Node: 0, Sync: 5}}}
+	cfg.Telemetry = hub
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("killed run should fail")
+	}
+	var saw bool
+	for _, e := range hub.Events() {
+		if k, ok := e.(telemetry.NodeKilled); ok {
+			saw = true
+			if k.Node != 0 || k.Sync != 5 || k.Role != "sim" {
+				t.Errorf("NodeKilled = %+v", k)
+			}
+		}
+	}
+	if !saw {
+		t.Error("no NodeKilled event emitted")
+	}
+}
+
+// TestSlowExcursionCompletes: a slow-node excursion degrades in place —
+// the job completes, slower than its fault-free twin, and the degraded
+// rank recovers.
+func TestSlowExcursionCompletes(t *testing.T) {
+	clean, err := Run(context.Background(), tinyConfig(core.NewStatic(), []string{"msd"}, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 40)
+	cfg.Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Slow, Node: 1, Sync: 5, Factor: 3, Window: 20}}}
+	hub := telemetry.New(telemetry.Options{})
+	cfg.Telemetry = hub
+	slow, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.MainLoopTime <= clean.MainLoopTime {
+		t.Errorf("excursion run %v not slower than clean %v", slow.MainLoopTime, clean.MainLoopTime)
+	}
+	var degraded, recovered bool
+	for _, e := range hub.Events() {
+		switch e.Kind() {
+		case "NodeDegraded":
+			degraded = true
+		case "NodeRecovered":
+			recovered = true
+		}
+	}
+	if !degraded || !recovered {
+		t.Errorf("lifecycle events missing: degraded=%v recovered=%v", degraded, recovered)
+	}
+}
+
+// TestFaultPlanValidated: a plan that would wipe out a partition is
+// rejected before any rank starts.
+func TestFaultPlanValidated(t *testing.T) {
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 10)
+	cfg.Faults = &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Kill, Node: 2, Sync: 1},
+		{Kind: fault.Kill, Node: 3, Sync: 2},
+	}}
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Error("analysis-partition wipeout should be rejected")
+	}
+}

@@ -32,7 +32,9 @@ import (
 	"sync"
 
 	"seesaw/internal/analysis"
+	"seesaw/internal/cluster"
 	"seesaw/internal/core"
+	"seesaw/internal/fault"
 	"seesaw/internal/lammps"
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
@@ -75,6 +77,12 @@ type Config struct {
 	ShortTermCap bool
 	// Seed drives all stochastic behaviour deterministically.
 	Seed uint64
+	// Faults is an optional deterministic fault plan keyed to the
+	// synchronization schedule. A slow-node excursion degrades the
+	// affected rank's node in place; a kill takes the whole job down —
+	// as a dead rank does under real MPI, where its collectives can
+	// never complete — and Run returns a *fault.KilledError.
+	Faults *fault.Plan
 	// Noise configures node variability; zero values give a
 	// deterministic run.
 	Noise machine.NoiseModel
@@ -209,6 +217,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	nWorld := cfg.SimRanks + cfg.AnaRanks
 	syncSchedule := cfg.syncSteps()
 
+	// The cluster layer owns node construction and health. It builds the
+	// same single-seed nodes this driver used to create per rank, so
+	// fault-free runs are unchanged.
+	cl, err := cluster.New(cluster.Config{
+		SimNodes:  cfg.SimRanks,
+		AnaNodes:  cfg.AnaRanks,
+		Rapl:      cfg.Rapl,
+		Machine:   cfg.Machine,
+		Noise:     cfg.Noise,
+		JobSeed:   cfg.Seed,
+		Faults:    cfg.Faults,
+		Telemetry: cfg.Telemetry,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	res := &Result{
 		AnalysisResults: make(map[string][]float64),
 		SyncLog:         &trace.SyncLog{},
@@ -218,19 +243,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	var mu sync.Mutex // guards res across rank goroutines
 
-	err := mpi.RunContext(ctx, nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
+	err = mpi.RunContext(ctx, nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
 		isSim := r.WorldRank() < cfg.SimRanks
-		role := core.RoleAnalysis
-		if isSim {
-			role = core.RoleSimulation
-		}
-		node := machine.NewNode(r.WorldRank(), cfg.Rapl, cfg.Machine, cfg.Noise, cfg.Seed)
-		if cfg.Telemetry != nil {
-			// Per-partition metric labels; events from one representative
-			// rank per partition (see cosim for the same convention).
-			eventful := r.WorldRank() == 0 || r.WorldRank() == cfg.SimRanks
-			node.RAPL().SetTelemetry(cfg.Telemetry, role.String(), eventful)
-		}
+		role := cl.Role(r.WorldRank())
+		node := cl.Node(r.WorldRank())
 
 		initialCap := cfg.InitialAnaCap
 		if isSim {
@@ -242,6 +258,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			InitialCap:   initialCap,
 			ShortTermCap: cfg.ShortTermCap,
 			Telemetry:    cfg.Telemetry,
+			Health:       func() core.Health { return cl.Health(r.WorldRank()) },
 		})
 		if err != nil {
 			panic(err)
@@ -263,9 +280,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		part := r.World().Split(color, r.WorldRank())
 
 		if isSim {
-			runSimRank(r, part, node, mgr, &cfg, syncSchedule, res, &mu)
+			runSimRank(r, part, node, mgr, &cfg, syncSchedule, cl, res, &mu)
 		} else {
-			runAnaRank(r, part, node, mgr, &cfg, syncSchedule, res, &mu)
+			runAnaRank(r, part, node, mgr, &cfg, syncSchedule, cl, res, &mu)
 		}
 
 		// Collect job-level aggregates.
@@ -299,9 +316,20 @@ func pairedAnaRank(simRank, nSim, nAna int) int {
 	return nSim + simRank%nAna
 }
 
+// applyFaults advances this rank's node through the fault plan at the
+// given 1-based synchronization index, right before the power
+// allocation. A slow excursion takes effect in place; a kill aborts the
+// whole job through the runtime's poisoning path — blocked collectives
+// unwind and Run returns the *fault.KilledError.
+func applyFaults(cl *cluster.Cluster, r *mpi.Rank, sync int) {
+	if _, dead := cl.Apply(r.WorldRank(), r.Clock(), sync); dead {
+		r.Fail(&fault.KilledError{Node: r.WorldRank(), Sync: sync})
+	}
+}
+
 // runSimRank is the per-step loop of a simulation rank.
 func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, syncSchedule []int, res *Result, mu *sync.Mutex) {
+	cfg *Config, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
 
 	sys, err := lammps.New(cfg.Lammps)
 	if err != nil {
@@ -313,11 +341,14 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 		syncSet[s] = true
 	}
 
+	syncIdx := 0
 	for step := 1; step <= cfg.Steps; step++ {
 		// Step 1: initial integration.
 		runWork(r, node, cfg, simPhases["integrate"], sys.InitialIntegrate())
 
 		if syncSet[step] {
+			syncIdx++
+			applyFaults(cl, r, syncIdx)
 			// Power allocation immediately before the synchronization.
 			mgr.PowerAlloc()
 
@@ -363,7 +394,7 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 
 // runAnaRank is the per-synchronization loop of an analysis rank.
 func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, syncSchedule []int, res *Result, mu *sync.Mutex) {
+	cfg *Config, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
 
 	// Instantiate this rank's analyses.
 	tasks := make([]analysis.Analysis, 0, len(cfg.Analyses))
@@ -383,7 +414,8 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 		}
 	}
 
-	for _, step := range syncSchedule {
+	for si, step := range syncSchedule {
+		applyFaults(cl, r, si+1)
 		// Power allocation immediately before the synchronization.
 		mgr.PowerAlloc()
 

@@ -14,7 +14,8 @@
 //	  "initial_sim_cap_w": 120,
 //	  "initial_ana_cap_w": 100,
 //	  "cap_mode": "long",
-//	  "seed": 1
+//	  "seed": 1,
+//	  "faults": "kill:3@40,slow:0@10x2+20"
 //	}
 package jobfile
 
@@ -26,6 +27,7 @@ import (
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
+	"seesaw/internal/fault"
 	"seesaw/internal/machine"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
@@ -60,6 +62,10 @@ type Job struct {
 	Seed    uint64 `json:"seed,omitempty"`
 	RunSeed uint64 `json:"run_seed,omitempty"`
 	NoNoise bool   `json:"no_noise,omitempty"`
+
+	// Faults is an optional fault plan in internal/fault's grammar,
+	// e.g. "kill:3@40,slow:0@10x2+20".
+	Faults string `json:"faults,omitempty"`
 }
 
 // Load reads a job description from r.
@@ -114,6 +120,9 @@ func (j *Job) Validate() error {
 	case "", "static", "seesaw", "power-aware", "time-aware":
 	default:
 		return fmt.Errorf("jobfile: unknown policy %q", j.Policy)
+	}
+	if _, err := fault.Parse(j.Faults); err != nil {
+		return fmt.Errorf("jobfile: %w", err)
 	}
 	return nil
 }
@@ -186,6 +195,10 @@ func (j *Job) Build() (cosim.Config, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	plan, err := fault.Parse(j.Faults)
+	if err != nil {
+		return cosim.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
 	return cosim.Config{
 		Spec:          spec,
 		Policy:        policy,
@@ -196,6 +209,7 @@ func (j *Job) Build() (cosim.Config, error) {
 		Seed:          seed,
 		RunSeed:       j.RunSeed,
 		Noise:         noise,
+		Faults:        plan,
 	}, nil
 }
 

@@ -176,6 +176,12 @@ type Node struct {
 	dualRunSkew float64
 	jitter      *rng.Stream
 
+	// slowFactor is a settable excursion multiplier on phase durations
+	// (1 = nominal). The cluster layer drives it from fault plans to
+	// model transient slow-node excursions; unlike the seeded noise
+	// skews it can change mid-run.
+	slowFactor float64
+
 	busy units.Seconds // cumulative non-idle time
 	idle units.Seconds // cumulative idle (sync-wait) time
 }
@@ -204,6 +210,7 @@ func NewNodeWithSeeds(id int, cfg rapl.Config, model Model, noise NoiseModel, jo
 		powerEff:    effStream.LogNormFactor(noise.PowerEffSigma),
 		runSkew:     runStream.LogNormFactor(noise.RunSigma),
 		dualRunSkew: dualStream.LogNormFactor(noise.DualRunSigma),
+		slowFactor:  1,
 		jitter:      rng.DeriveIndexed(runSeed, "node-jitter", id),
 	}
 }
@@ -219,6 +226,19 @@ func (n *Node) Model() Model { return n.model }
 
 // Skew returns the node's static speed skew factor (1 = nominal).
 func (n *Node) Skew() float64 { return n.skew }
+
+// SetSlowFactor sets the node's transient excursion multiplier: phase
+// durations scale by f until it is set back to 1. It panics on
+// non-positive factors.
+func (n *Node) SetSlowFactor(f float64) {
+	if f <= 0 {
+		panic(fmt.Sprintf("machine: non-positive slow factor %g", f))
+	}
+	n.slowFactor = f
+}
+
+// SlowFactor returns the current excursion multiplier.
+func (n *Node) SlowFactor() float64 { return n.slowFactor }
 
 // BusyTime returns cumulative time spent executing phases.
 func (n *Node) BusyTime() units.Seconds { return n.busy }
@@ -275,6 +295,9 @@ func (n *Node) Run(ph Phase, noise NoiseModel) Execution {
 	slowdown := 1 - ph.Sensitivity + ph.Sensitivity*refPerf/curPerf
 
 	d := float64(ph.Nominal) * slowdown * n.skew * n.runSkew
+	if n.slowFactor > 0 {
+		d *= n.slowFactor
+	}
 	if throttled && dual {
 		d *= n.dualRunSkew
 	}

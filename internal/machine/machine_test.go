@@ -266,3 +266,38 @@ func TestEstimatedFrequency(t *testing.T) {
 		t.Errorf("throttled frequency %v implausibly low", lo)
 	}
 }
+
+func TestSlowFactorExcursion(t *testing.T) {
+	n := quietNode(t, 0)
+	base := n.Run(computePhase(2), NoiseModel{}).Duration
+
+	n.SetSlowFactor(2)
+	if n.SlowFactor() != 2 {
+		t.Errorf("SlowFactor() = %g after SetSlowFactor(2)", n.SlowFactor())
+	}
+	slow := n.Run(computePhase(2), NoiseModel{}).Duration
+	if !units.NearlyEqual(float64(slow), 2*float64(base), 1e-9) {
+		t.Errorf("2x excursion duration = %v, want %v", slow, 2*base)
+	}
+
+	// Recovery restores the nominal duration exactly.
+	n.SetSlowFactor(1)
+	after := n.Run(computePhase(2), NoiseModel{}).Duration
+	if !units.NearlyEqual(float64(after), float64(base), 1e-9) {
+		t.Errorf("post-recovery duration = %v, want %v", after, base)
+	}
+}
+
+func TestSetSlowFactorPanicsOnNonPositive(t *testing.T) {
+	n := quietNode(t, 0)
+	for _, f := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetSlowFactor(%g) did not panic", f)
+				}
+			}()
+			n.SetSlowFactor(f)
+		}()
+	}
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -121,6 +122,46 @@ func TestCancelUnblocksSubcommunicator(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("RunContext did not return: sub-communicator waiter leaked")
+	}
+}
+
+// TestFailUnblocksPeers: a rank dying via Fail takes the job down — the
+// peers parked at a collective it can no longer join unwind promptly,
+// and RunContext surfaces the failing rank's error.
+func TestFailUnblocksPeers(t *testing.T) {
+	boom := errors.New("node 2 killed")
+	errc := make(chan error, 1)
+	go func() {
+		errc <- Run(4, DefaultCost(), func(r *Rank) {
+			if r.WorldRank() == 2 {
+				time.Sleep(20 * time.Millisecond) // let peers park first
+				r.Fail(boom)
+				t.Error("Fail returned")
+			}
+			r.World().Barrier()
+			t.Errorf("rank %d passed a barrier missing a member", r.WorldRank())
+		})
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v, want %v", err, boom)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext did not return after Fail: ranks leaked")
+	}
+}
+
+// TestFailNilError still aborts, with a default error naming the rank.
+func TestFailNilError(t *testing.T) {
+	err := Run(2, DefaultCost(), func(r *Rank) {
+		if r.WorldRank() == 1 {
+			r.Fail(nil)
+		}
+		r.World().Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1 failed") {
+		t.Fatalf("err = %v, want default rank-1 failure", err)
 	}
 }
 

@@ -297,6 +297,20 @@ func (r *Rank) AdvanceTo(t units.Seconds) {
 	}
 }
 
+// Fail aborts the whole job with err, modelling a fatal node failure:
+// in MPI a dead rank takes the job down, since every collective it
+// belongs to can no longer complete. All other ranks — including ones
+// blocked in Recv or mid-collective — unwind promptly through the
+// cancellation machinery, and RunContext returns err. Fail does not
+// return.
+func (r *Rank) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("mpi: rank %d failed", r.id)
+	}
+	r.rt.doCancel(err)
+	panic(errCanceled)
+}
+
 // Send delivers a payload of the given modeled size to dst (world rank)
 // with a tag. The send is buffered: the sender continues immediately,
 // paying only the injection latency locally.

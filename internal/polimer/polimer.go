@@ -52,16 +52,22 @@ type Options struct {
 	// records and idle-wait observations from this rank, and policy
 	// decisions from the root. Nil disables instrumentation at no cost.
 	Telemetry *telemetry.Hub
+	// Health, when non-nil, reports this rank's node health at each
+	// allocation (the cluster layer's view under fault injection); nil
+	// means always Healthy.
+	Health func() core.Health
 }
 
 // measure is the per-node record exchanged at each allocation.
 type measure struct {
-	role  core.Role
-	time  units.Seconds // allocator-to-allocator interval (work + wait)
-	busy  units.Seconds // pure work time
-	epoch units.Seconds // loop-level (epoch) view of the interval
-	power units.Watts
-	cap   units.Watts
+	id     int // stable node id (world rank)
+	health core.Health
+	role   core.Role
+	time   units.Seconds // allocator-to-allocator interval (work + wait)
+	busy   units.Seconds // pure work time
+	epoch  units.Seconds // loop-level (epoch) view of the interval
+	power  units.Watts
+	cap    units.Watts
 }
 
 // Manager is the per-rank PoLiMER handle.
@@ -173,13 +179,19 @@ func (m *Manager) PowerAlloc() {
 	}
 	wait := dt - busy
 	m.extWait = 0
+	health := core.Healthy
+	if m.opts.Health != nil {
+		health = m.opts.Health()
+	}
 	my := measure{
-		role:  m.role,
-		time:  dt,
-		busy:  busy,
-		epoch: busy + units.Seconds(float64(wait)*0.8),
-		power: avgPower,
-		cap:   m.node.RAPL().LongCap(),
+		id:     m.rank.WorldRank(),
+		health: health,
+		role:   m.role,
+		time:   dt,
+		busy:   busy,
+		epoch:  busy + units.Seconds(float64(wait)*0.8),
+		power:  avgPower,
+		cap:    m.node.RAPL().LongCap(),
 	}
 
 	// Exchange measurements; this Allgather is also the rendezvous of
@@ -206,7 +218,8 @@ func (m *Manager) PowerAlloc() {
 		nodes := make([]core.NodeMeasure, len(gathered))
 		for i, g := range gathered {
 			mm := g.(measure)
-			nodes[i] = core.NodeMeasure{Role: mm.role, Time: mm.time, BusyTime: mm.busy, EpochTime: mm.epoch, Power: mm.power, Cap: mm.cap}
+			nodes[i] = core.NodeMeasure{NodeID: mm.id, Health: mm.health, Role: mm.role,
+				Time: mm.time, BusyTime: mm.busy, EpochTime: mm.epoch, Power: mm.power, Cap: mm.cap}
 		}
 		caps = m.opts.Policy.Allocate(m.syncStep, nodes)
 		if m.log != nil {

@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"context"
+	"testing"
+
+	"seesaw/internal/fault"
+)
+
+// TestFaultPlanValidatedPerJob: plans are checked against each job's own
+// node count, not the machine's.
+func TestFaultPlanValidatedPerJob(t *testing.T) {
+	cfg := twoJobs(40)
+	cfg.Jobs[0].Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Kill, Node: 16, Sync: 1}}}
+	if err := cfg.Validate(); err == nil {
+		t.Error("kill target outside the job's 16 nodes should fail validation")
+	}
+}
+
+// TestKillPersistsAcrossEpochs: a kill scheduled inside epoch 1 must
+// keep the node dead through the remaining epochs. With 40 steps over 4
+// epochs each slice covers syncs 1..10 (J=1), so sync 15 lands mid
+// epoch 1; only the per-epoch rebase (past kills clamp to sync 1) keeps
+// the node dead in epochs 2 and 3 — an unrebased plan would never fire
+// again and the job would finish with all 16 nodes alive.
+func TestKillPersistsAcrossEpochs(t *testing.T) {
+	clean, err := Run(context.Background(), twoJobs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoJobs(40)
+	cfg.Jobs[0].Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Kill, Node: 3, Sync: 15}}}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].AliveNodes != 15 {
+		t.Errorf("faulted job AliveNodes = %d, want 15", res.Jobs[0].AliveNodes)
+	}
+	if res.Jobs[1].AliveNodes != 16 {
+		t.Errorf("clean job AliveNodes = %d, want 16", res.Jobs[1].AliveNodes)
+	}
+	// The survivors inherit the dead node's work, so the crippled job
+	// slows down while its neighbor is untouched.
+	if res.Jobs[0].Time <= clean.Jobs[0].Time {
+		t.Errorf("crippled job %v not slower than clean %v", res.Jobs[0].Time, clean.Jobs[0].Time)
+	}
+}
+
+// TestSlowExcursionSpansEpochBoundary: a slow window straddling an
+// epoch boundary clips correctly on rebase and the job still completes
+// slower than its fault-free twin.
+func TestSlowExcursionSpansEpochBoundary(t *testing.T) {
+	clean, err := Run(context.Background(), twoJobs(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := twoJobs(40)
+	// Syncs 8..13: starts in epoch 0, ends in epoch 1.
+	cfg.Jobs[1].Faults = &fault.Plan{Events: []fault.Event{{Kind: fault.Slow, Node: 9, Sync: 8, Factor: 2.5, Window: 6}}}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[1].AliveNodes != 16 {
+		t.Errorf("excursion must not kill: AliveNodes = %d", res.Jobs[1].AliveNodes)
+	}
+	if res.Jobs[1].Time <= clean.Jobs[1].Time {
+		t.Errorf("degraded job %v not slower than clean %v", res.Jobs[1].Time, clean.Jobs[1].Time)
+	}
+}
+
+// TestSystemAwareCeilingTracksAttrition: under the energy-proportional
+// system level, a job that lost nodes can no longer be granted more
+// than MaxCap per live node.
+func TestSystemAwareCeilingTracksAttrition(t *testing.T) {
+	cfg := twoJobs(60)
+	cfg.SystemAware = true
+	cfg.Jobs[0].Faults = &fault.Plan{Events: []fault.Event{
+		{Kind: fault.Kill, Node: 2, Sync: 3},
+		{Kind: fault.Kill, Node: 10, Sync: 4},
+	}}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].AliveNodes != 14 {
+		t.Fatalf("AliveNodes = %d, want 14", res.Jobs[0].AliveNodes)
+	}
+	if hi := cfg.MaxCap * 14; res.Jobs[0].Budget > hi {
+		t.Errorf("crippled job budget %v exceeds live ceiling %v", res.Jobs[0].Budget, hi)
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
+	"seesaw/internal/fault"
 	"seesaw/internal/machine"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
@@ -39,6 +40,11 @@ type JobSpec struct {
 	PolicyName string
 	// Window is the intra-job w.
 	Window int
+	// Faults is an optional fault plan for this job, keyed to the job's
+	// own synchronization indices. The scheduler rebases it at each
+	// epoch boundary so kills persist across epochs and slow-node
+	// excursions clip to their remaining window.
+	Faults *fault.Plan
 }
 
 // Config describes the machine partition.
@@ -75,6 +81,9 @@ type JobResult struct {
 	Energy units.Joules
 	// Budget is the job's final budget.
 	Budget units.Watts
+	// AliveNodes is the job's live node count at the end (equal to its
+	// configured node count unless a fault plan killed nodes).
+	AliveNodes int
 }
 
 // Result is the machine-level outcome.
@@ -98,6 +107,9 @@ func (c Config) Validate() error {
 		if err := j.Workload.Validate(); err != nil {
 			return fmt.Errorf("sched: job %d (%s): %w", i, j.Name, err)
 		}
+		if err := j.Faults.Validate(jobNodes(j)); err != nil {
+			return fmt.Errorf("sched: job %d (%s): %w", i, j.Name, err)
+		}
 		nodes += j.Workload.SimNodes + j.Workload.AnaNodes
 	}
 	if c.MachineBudget < c.MinCap*units.Watts(nodes) {
@@ -109,6 +121,19 @@ func (c Config) Validate() error {
 
 // jobNodes returns a job's node count.
 func jobNodes(j JobSpec) int { return j.Workload.SimNodes + j.Workload.AnaNodes }
+
+// sliceIntervals returns how many allocator intervals the cosim driver
+// executes for spec — its synchronization schedule plus the trailing
+// partial interval, mirroring the schedule cosim builds — so fault
+// plans can be rebased into the next slice's local sync indices.
+func sliceIntervals(spec workload.Spec) int {
+	sch := spec.SyncSchedule()
+	n := len(sch)
+	if n > 0 && sch[n-1] < spec.Steps {
+		n++
+	}
+	return n
+}
 
 // Run executes the machine partition: each epoch, every job runs a slice
 // of its workload under its current budget; between epochs the system
@@ -140,8 +165,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		stepsDone int
 		time      units.Seconds
 		energy    units.Joules
+		alive     int
+		plan      *fault.Plan // remaining fault plan, rebased per epoch
 	}
 	states := make([]jobState, nJobs)
+	for i, j := range cfg.Jobs {
+		states[i].alive = jobNodes(j)
+		states[i].plan = j.Faults
+	}
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		epochEnergy := make([]units.Joules, nJobs)
@@ -175,6 +206,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				Seed:        cfg.Seed + uint64(i)*101,
 				RunSeed:     cfg.Seed + uint64(i)*101 + uint64(epoch) + 1,
 				Noise:       cfg.Noise,
+				Faults:      states[i].plan,
 				Telemetry:   cfg.Telemetry,
 			})
 			if err != nil {
@@ -183,6 +215,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			states[i].stepsDone += chunk
 			states[i].time += out.TotalTime
 			states[i].energy += out.TotalEnergy
+			states[i].alive = out.AliveSim + out.AliveAna
+			// Shift the plan into the next slice's local sync indices:
+			// past kills clamp to sync 1 (the node stays dead), running
+			// excursions clip to their remaining window.
+			states[i].plan = states[i].plan.Rebase(sliceIntervals(spec))
 			epochEnergy[i] = out.TotalEnergy
 			epochTime[i] = out.TotalTime
 		}
@@ -199,15 +236,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				totalRate += rates[i]
 			}
 			if totalRate > 0 {
+				alive := make([]int, nJobs)
+				for i := range states {
+					alive[i] = states[i].alive
+				}
 				for i, j := range cfg.Jobs {
 					share := units.Watts(float64(cfg.MachineBudget) * rates[i] / totalRate)
-					// Clamp so every node keeps at least MinCap and at
-					// most MaxCap.
-					n := units.Watts(jobNodes(j))
-					share = units.ClampWatts(share, cfg.MinCap*n, cfg.MaxCap*n)
-					budgets[i] = share
+					budgets[i] = clampJobBudget(share, cfg, jobNodes(j), alive[i])
 				}
-				rebalanceToMachineBudget(budgets, cfg)
+				rebalanceToMachineBudget(budgets, cfg, alive)
 				for i, j := range cfg.Jobs {
 					cfg.Telemetry.JobBudget(float64(states[i].time), epoch+1, j.Name,
 						float64(budgets[i]), float64(budgets[i])/float64(cfg.MachineBudget))
@@ -217,7 +254,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	for i, j := range cfg.Jobs {
-		res.Jobs[i] = JobResult{Name: j.Name, Time: states[i].time, Energy: states[i].energy, Budget: budgets[i]}
+		res.Jobs[i] = JobResult{Name: j.Name, Time: states[i].time, Energy: states[i].energy,
+			Budget: budgets[i], AliveNodes: states[i].alive}
 		if states[i].time > res.Makespan {
 			res.Makespan = states[i].time
 		}
@@ -225,9 +263,25 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// clampJobBudget bounds a job's budget share: every configured node
+// keeps at least MinCap (each cosim slice validates its budget against
+// the configured node set, and the intra-job allocator redistributes a
+// dead node's floor among survivors), while the ceiling tracks the live
+// node count — power granted beyond MaxCap per live node is
+// unconsumable. When heavy attrition pushes the live ceiling below the
+// configured floor, the floor wins.
+func clampJobBudget(share units.Watts, cfg Config, configured, alive int) units.Watts {
+	lo := cfg.MinCap * units.Watts(configured)
+	hi := cfg.MaxCap * units.Watts(alive)
+	if hi < lo {
+		hi = lo
+	}
+	return units.ClampWatts(share, lo, hi)
+}
+
 // rebalanceToMachineBudget scales budgets so they sum to the machine
 // budget while respecting per-job node minimums.
-func rebalanceToMachineBudget(budgets []units.Watts, cfg Config) {
+func rebalanceToMachineBudget(budgets []units.Watts, cfg Config, alive []int) {
 	var sum units.Watts
 	for _, b := range budgets {
 		sum += b
@@ -237,8 +291,7 @@ func rebalanceToMachineBudget(budgets []units.Watts, cfg Config) {
 	}
 	scale := float64(cfg.MachineBudget) / float64(sum)
 	for i, j := range cfg.Jobs {
-		n := units.Watts(jobNodes(j))
-		budgets[i] = units.ClampWatts(units.Watts(float64(budgets[i])*scale), cfg.MinCap*n, cfg.MaxCap*n)
+		budgets[i] = clampJobBudget(units.Watts(float64(budgets[i])*scale), cfg, jobNodes(j), alive[i])
 	}
 }
 

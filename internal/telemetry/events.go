@@ -133,6 +133,49 @@ type BudgetShare struct {
 // Kind implements Event.
 func (BudgetShare) Kind() string { return "BudgetShare" }
 
+// NodeKilled records a fault plan permanently removing a node from the
+// membership: it stops executing, draws no power, and the allocators
+// redistribute its budget share.
+type NodeKilled struct {
+	T float64 `json:"t"`
+	// Node is the stable node id (cosim node index / insitu world rank).
+	Node int `json:"node"`
+	// Role is the dead node's partition ("sim"/"ana").
+	Role string `json:"role"`
+	// Sync is the 1-based synchronization index the kill fired at.
+	Sync int `json:"sync"`
+	// AliveSim/AliveAna are the partitions' live sizes after the kill.
+	AliveSim int `json:"alive_sim"`
+	AliveAna int `json:"alive_ana"`
+}
+
+// Kind implements Event.
+func (NodeKilled) Kind() string { return "NodeKilled" }
+
+// NodeDegraded records a slow-node excursion starting: the node keeps
+// executing, but its phase durations scale by Factor until recovery.
+type NodeDegraded struct {
+	T      float64 `json:"t"`
+	Node   int     `json:"node"`
+	Role   string  `json:"role"`
+	Sync   int     `json:"sync"`
+	Factor float64 `json:"factor"`
+}
+
+// Kind implements Event.
+func (NodeDegraded) Kind() string { return "NodeDegraded" }
+
+// NodeRecovered records a degraded node returning to full speed.
+type NodeRecovered struct {
+	T    float64 `json:"t"`
+	Node int     `json:"node"`
+	Role string  `json:"role"`
+	Sync int     `json:"sync"`
+}
+
+// Kind implements Event.
+func (NodeRecovered) Kind() string { return "NodeRecovered" }
+
 // envelope is the JSONL wire form: {"kind": "...", "data": {...}}.
 type envelope struct {
 	Kind string          `json:"kind"`
@@ -170,6 +213,12 @@ func Decode(line []byte) (Event, error) {
 		ev = &BudgetShare{}
 	case "CampaignCell":
 		ev = &CampaignCell{}
+	case "NodeKilled":
+		ev = &NodeKilled{}
+	case "NodeDegraded":
+		ev = &NodeDegraded{}
+	case "NodeRecovered":
+		ev = &NodeRecovered{}
 	default:
 		return nil, fmt.Errorf("telemetry: unknown event kind %q", env.Kind)
 	}
@@ -196,6 +245,12 @@ func deref(e Event) Event {
 	case *BudgetShare:
 		return *v
 	case *CampaignCell:
+		return *v
+	case *NodeKilled:
+		return *v
+	case *NodeDegraded:
+		return *v
+	case *NodeRecovered:
 		return *v
 	}
 	return e

@@ -18,6 +18,9 @@ var allEvents = []Event{
 	ThrottleEngaged{T: 5, Node: "sim", DemandW: 180, AllowedW: 150},
 	BudgetShare{T: 6, Epoch: 2, Job: "jobA", BudgetW: 7040, Share: 0.5},
 	CampaignCell{Campaign: "fig3a", Key: "rdf/seesaw/r0", Status: "ok", Seconds: 0.25, Done: 3, Total: 18},
+	NodeKilled{T: 7, Node: 5, Role: "ana", Sync: 20, AliveSim: 4, AliveAna: 3},
+	NodeDegraded{T: 8, Node: 2, Role: "sim", Sync: 10, Factor: 2},
+	NodeRecovered{T: 9, Node: 2, Role: "sim", Sync: 25},
 }
 
 // TestEncodeDecodeRoundTrip decodes every event type back to an
@@ -81,7 +84,7 @@ func TestKindsAreUnique(t *testing.T) {
 		}
 		seen[e.Kind()] = true
 	}
-	if len(seen) != 7 {
-		t.Errorf("expected 7 event kinds, have %d", len(seen))
+	if len(seen) != 10 {
+		t.Errorf("expected 10 event kinds, have %d", len(seen))
 	}
 }

@@ -55,6 +55,9 @@ type Hub struct {
 	shiftHist    *Family // histogram{policy}: per-node shift magnitude
 	powerHist    *Family // histogram{partition}: measured per-node power
 	jobBudget    *Family // gauge{job}: scheduler budget share
+	faults       *Family // counter{kind,partition}: fault-plan transitions
+	aliveGauge   *Family // gauge{partition}: live node membership
+	degrGauge    *Family // gauge{partition}: nodes under a slow excursion
 	campCells    *Family // counter{campaign,status}: campaign cells finished
 	campInflight *Family // gauge{campaign}: campaign cells currently running
 	campCellSec  *Family // histogram{campaign}: campaign cell duration
@@ -88,6 +91,9 @@ func New(o Options) *Hub {
 		shiftHist:    reg.Histogram("seesaw_policy_shift_watts", "Per-node power moved by one policy decision", []float64{0.5, 1, 2, 5, 10, 20, 50, 100}, "policy"),
 		powerHist:    reg.Histogram("seesaw_node_power_watts", "Measured per-node average power per interval", PowerBuckets(), "partition"),
 		jobBudget:    reg.Gauge("seesaw_job_budget_watts", "Per-job power budget assigned by the scheduler", "job"),
+		faults:       reg.Counter("seesaw_node_faults_total", "Node lifecycle transitions fired by fault plans", "kind", "partition"),
+		aliveGauge:   reg.Gauge("seesaw_alive_nodes", "Nodes still alive in the partition", "partition"),
+		degrGauge:    reg.Gauge("seesaw_degraded_nodes", "Nodes currently under a slow-node excursion", "partition"),
 		campCells:    reg.Counter("seesaw_campaign_cells_total", "Campaign cells finished, by status", "campaign", "status"),
 		campInflight: reg.Gauge("seesaw_campaign_inflight_cells", "Campaign cells currently executing", "campaign"),
 		campCellSec:  reg.Histogram("seesaw_campaign_cell_seconds", "Wall-clock duration of one campaign cell", CellBuckets(), "campaign"),
@@ -351,6 +357,38 @@ func (h *Hub) CampaignCellDone(campaign, key, status string, seconds float64, do
 	}
 	h.campCells.With(campaign, status).Inc()
 	h.Emit(CampaignCell{Campaign: campaign, Key: key, Status: status, Seconds: seconds, Done: done, Total: total})
+}
+
+// NodeKilled reports a fault plan removing a node from the membership;
+// aliveSim/aliveAna are the partitions' live sizes after the kill.
+func (h *Hub) NodeKilled(t float64, node int, role string, sync, aliveSim, aliveAna int) {
+	if h == nil {
+		return
+	}
+	h.faults.With("kill", role).Inc()
+	h.aliveGauge.With("sim").Set(float64(aliveSim))
+	h.aliveGauge.With("ana").Set(float64(aliveAna))
+	h.Emit(NodeKilled{T: t, Node: node, Role: role, Sync: sync, AliveSim: aliveSim, AliveAna: aliveAna})
+}
+
+// NodeDegraded reports a slow-node excursion starting on one node.
+func (h *Hub) NodeDegraded(t float64, node int, role string, sync int, factor float64) {
+	if h == nil {
+		return
+	}
+	h.faults.With("slow", role).Inc()
+	h.degrGauge.With(role).Add(1)
+	h.Emit(NodeDegraded{T: t, Node: node, Role: role, Sync: sync, Factor: factor})
+}
+
+// NodeRecovered reports a degraded node returning to full speed.
+func (h *Hub) NodeRecovered(t float64, node int, role string, sync int) {
+	if h == nil {
+		return
+	}
+	h.faults.With("recover", role).Inc()
+	h.degrGauge.With(role).Add(-1)
+	h.Emit(NodeRecovered{T: t, Node: node, Role: role, Sync: sync})
 }
 
 // JobBudget reports the machine-level scheduler assigning one job's

@@ -25,6 +25,9 @@ func TestNilHubIsSafe(t *testing.T) {
 	h.NodePower("sim", 110)
 	h.PolicyDecision(1, "seesaw", 1, 110, 110, 115, 105)
 	h.JobBudget(1, 0, "job", 7040, 0.5)
+	h.NodeKilled(1, 5, "ana", 20, 4, 3)
+	h.NodeDegraded(1, 2, "sim", 10, 2)
+	h.NodeRecovered(1, 2, "sim", 25)
 	h.Emit(CapWritten{})
 	if h.Events() != nil {
 		t.Error("nil hub Events should be nil")
@@ -229,5 +232,46 @@ func TestWriteJSON(t *testing.T) {
 	}
 	if _, err := Decode(doc.Events[0]); err != nil {
 		t.Errorf("embedded event not decodable: %v", err)
+	}
+}
+
+// TestNodeLifecycleHooks: the fault hooks maintain the fault counter
+// and the alive/degraded gauges, and emit their typed events.
+func TestNodeLifecycleHooks(t *testing.T) {
+	h := New(Options{})
+	h.NodeDegraded(1, 2, "sim", 10, 2)
+	h.NodeKilled(2, 5, "ana", 20, 4, 3)
+	h.NodeRecovered(3, 2, "sim", 25)
+
+	var sb strings.Builder
+	if err := h.Registry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`seesaw_node_faults_total{kind="kill",partition="ana"} 1`,
+		`seesaw_node_faults_total{kind="slow",partition="sim"} 1`,
+		`seesaw_node_faults_total{kind="recover",partition="sim"} 1`,
+		`seesaw_alive_nodes{partition="sim"} 4`,
+		`seesaw_alive_nodes{partition="ana"} 3`,
+		`seesaw_degraded_nodes{partition="sim"} 0`, // degraded then recovered
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	var kinds []string
+	for _, e := range h.Events() {
+		kinds = append(kinds, e.Kind())
+	}
+	want := []string{"NodeDegraded", "NodeKilled", "NodeRecovered"}
+	if len(kinds) != len(want) {
+		t.Fatalf("events = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, kinds[i], want[i])
+		}
 	}
 }
