@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build check fmt vet staticcheck test race bench clean
+.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-smoke clean
 
 all: build
 
@@ -9,9 +9,10 @@ build:
 	$(GO) build ./...
 
 # check is the tier-1 gate: formatting, vet, staticcheck (when
-# installed), and the full suite under the race detector (the telemetry
-# hub and the insitu driver are concurrent by design).
-check: fmt vet staticcheck race
+# installed), the full suite under the race detector (the telemetry
+# hub and the insitu driver are concurrent by design), and a single-
+# iteration pass over the scale benchmarks so they cannot rot.
+check: fmt vet staticcheck race bench-scale-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -40,6 +41,19 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# bench-scale measures the substrate at 256/1024/4096 ranks: the mpi
+# collective/mailbox microbenchmarks and the whole-job insitu macro
+# benchmark. Results feed BENCH_scale.json (see EXPERIMENTS.md).
+bench-scale:
+	$(GO) test -run xxx -bench . -benchtime 2s ./internal/mpi/
+	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x -count 3 ./internal/insitu/
+
+# bench-scale-smoke runs every scale benchmark for one iteration — a
+# correctness gate (part of `make check`), not a measurement.
+bench-scale-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/mpi/
+	$(GO) test -run xxx -bench 'BenchmarkInsituScale/nodes=256' -benchtime 1x ./internal/insitu/
 
 clean:
 	$(GO) clean ./...

@@ -6,12 +6,18 @@
 //
 //	insitu [-policy seesaw] [-analyses msd,rdf] [-sim 2] [-ana 2]
 //	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1]
-//	       [-faults PLAN] [-csv]
+//	       [-faults PLAN] [-csv] [-cpuprofile FILE] [-memprofile FILE]
 //
 // -faults injects a deterministic fault plan (internal/fault grammar,
 // e.g. "slow:1@5x2+20" or "kill:3@20"). A slow excursion degrades the
 // node in place; a kill takes the whole job down through the runtime's
 // poisoning path, as losing a rank does under real MPI.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the job run,
+// the intended workflow for hunting substrate hotspots at scale, e.g.
+//
+//	insitu -sim 2048 -ana 2048 -steps 4 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -21,6 +27,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"seesaw/internal/bench"
@@ -43,11 +51,38 @@ func main() {
 	seed := flag.Uint64("seed", 1, "job seed")
 	faults := flag.String("faults", "", "fault plan, e.g. 'slow:1@5x2+20' or 'kill:3@20' (see internal/fault)")
 	csv := flag.Bool("csv", false, "emit the per-synchronization log as CSV")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the job to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the job to this file")
 	flag.Parse()
 
 	plan, err := fault.Parse(*faults)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 
 	nodes := *simRanks + *anaRanks

@@ -3,6 +3,8 @@ package bench
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -66,6 +68,37 @@ func TestFaultsByteIdenticalAcrossJobs(t *testing.T) {
 	par := render(8)
 	if !bytes.Equal(seq, par) {
 		t.Fatalf("faults reports differ between jobs=1 and jobs=8:\n%s\n---\n%s", seq, par)
+	}
+}
+
+// TestReportMatchesSeedGolden pins the full experiment report to the
+// bytes the seed runtime produced (testdata/report_golden.md, captured
+// before the sharded-rendezvous rewrite of internal/mpi). Virtual-time
+// results are defined by the communication structure alone — clock
+// merging is max(arrival)+cost, order-independent by construction — so
+// no substrate optimization may move a single byte of this document.
+func TestReportMatchesSeedGolden(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "report_golden.md"))
+	if err != nil {
+		t.Fatalf("reading golden report: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(context.Background(), &buf, fastOptions(), nil); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	got := buf.Bytes()
+	if !bytes.Equal(got, want) {
+		n := len(got)
+		if len(want) < n {
+			n = len(want)
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != want[i] {
+				t.Fatalf("report diverges from seed golden at byte %d: got %q, want %q",
+					i, excerpt(got, i), excerpt(want, i))
+			}
+		}
+		t.Fatalf("report length differs from seed golden: got %d bytes, want %d", len(got), len(want))
 	}
 }
 

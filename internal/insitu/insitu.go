@@ -216,6 +216,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	nWorld := cfg.SimRanks + cfg.AnaRanks
 	syncSchedule := cfg.syncSteps()
+	tables, err := newJobTables(ctx, &cfg, syncSchedule)
+	if err != nil {
+		return nil, err
+	}
 
 	// The cluster layer owns node construction and health. It builds the
 	// same single-seed nodes this driver used to create per rank, so
@@ -280,9 +284,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		part := r.World().Split(color, r.WorldRank())
 
 		if isSim {
-			runSimRank(r, part, node, mgr, &cfg, syncSchedule, cl, res, &mu)
+			runSimRank(r, part, node, mgr, &cfg, tables, cl, res, &mu)
 		} else {
-			runAnaRank(r, part, node, mgr, &cfg, syncSchedule, cl, res, &mu)
+			runAnaRank(r, part, node, mgr, &cfg, tables, syncSchedule, cl, res, &mu)
 		}
 
 		// Collect job-level aggregates.
@@ -316,6 +320,67 @@ func pairedAnaRank(simRank, nSim, nAna int) int {
 	return nSim + simRank%nAna
 }
 
+// simPhaseSet and anaPhaseSet are the per-step loops' phase specs,
+// resolved out of the simPhases/anaPhases maps once per job so a 4096-
+// rank run doesn't hash the same six strings on every Verlet step of
+// every rank.
+type simPhaseSet struct {
+	integrate, sync, rebuild, neighbor, force, output phaseSpec
+}
+
+type anaPhaseSet struct {
+	rebuild, neighbor phaseSpec
+}
+
+// jobTables bundles the derived, read-only lookup structures shared by
+// every rank goroutine: resolved phase specs, the synchronization-step
+// set (built once instead of per sim rank), and the sim→ana pairing
+// lists (built in one O(nSim) pass instead of every analysis rank
+// scanning all simulation ranks).
+type jobTables struct {
+	sim     simPhaseSet
+	ana     anaPhaseSet
+	syncSet map[int]bool
+	// sources[a] lists the simulation world ranks feeding analysis world
+	// rank SimRanks+a, in ascending order.
+	sources [][]int
+	// trace is the job's mini-MD trajectory, integrated once and
+	// replayed by every simulation rank (see simTrace).
+	trace *simTrace
+}
+
+func newJobTables(ctx context.Context, cfg *Config, syncSchedule []int) (*jobTables, error) {
+	t := &jobTables{
+		sim: simPhaseSet{
+			integrate: simPhases["integrate"],
+			sync:      simPhases["sync"],
+			rebuild:   simPhases["rebuild"],
+			neighbor:  simPhases["neighbor"],
+			force:     simPhases["force"],
+			output:    simPhases["output"],
+		},
+		ana: anaPhaseSet{
+			rebuild:  anaPhases["rebuild"],
+			neighbor: anaPhases["neighbor"],
+		},
+		syncSet: make(map[int]bool, len(syncSchedule)),
+		sources: make([][]int, cfg.AnaRanks),
+	}
+	for _, s := range syncSchedule {
+		t.syncSet[s] = true
+	}
+	for s := 0; s < cfg.SimRanks; s++ {
+		a := pairedAnaRank(s, cfg.SimRanks, cfg.AnaRanks) - cfg.SimRanks
+		t.sources[a] = append(t.sources[a], s)
+	}
+	tr, err := recordSimTrace(ctx, cfg, t.syncSet)
+	if err != nil {
+		return nil, err
+	}
+	t.trace = tr
+	return t, nil
+}
+
 // applyFaults advances this rank's node through the fault plan at the
 // given 1-based synchronization index, right before the power
 // allocation. A slow excursion takes effect in place; a kill aborts the
@@ -327,26 +392,25 @@ func applyFaults(cl *cluster.Cluster, r *mpi.Rank, sync int) {
 	}
 }
 
-// runSimRank is the per-step loop of a simulation rank.
+// runSimRank is the per-step loop of a simulation rank. The physics was
+// integrated once by recordSimTrace; each rank replays the recording
+// (identical work, frames and thermo scalars on every rank) and spends
+// its time in the parts that do differ per rank: virtual-time phases,
+// power allocation, faults and communication.
 func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
+	cfg *Config, tables *jobTables, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
 
-	sys, err := lammps.New(cfg.Lammps)
-	if err != nil {
-		panic(err)
-	}
+	tr := tables.trace
 	dst := pairedAnaRank(r.WorldRank(), cfg.SimRanks, cfg.AnaRanks)
-	syncSet := make(map[int]bool, len(syncSchedule))
-	for _, s := range syncSchedule {
-		syncSet[s] = true
-	}
+	phases := &tables.sim
 
 	syncIdx := 0
 	for step := 1; step <= cfg.Steps; step++ {
+		st := &tr.steps[step-1]
 		// Step 1: initial integration.
-		runWork(r, node, cfg, simPhases["integrate"], sys.InitialIntegrate())
+		runWork(r, node, cfg, phases.integrate, st.integrate)
 
-		if syncSet[step] {
+		if st.frame != nil {
 			syncIdx++
 			applyFaults(cl, r, syncIdx)
 			// Power allocation immediately before the synchronization.
@@ -354,47 +418,44 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 
 			// Step 2: ship coordinates and velocities to the analysis
 			// partition.
-			frame := sys.Snapshot()
-			runWork(r, node, cfg, simPhases["sync"], lammps.WorkCount{Ops: float64(sys.N) * 6, Bytes: sys.FrameBytes()})
-			r.Send(dst, tagFrame, &frame, sys.FrameBytes())
+			runWork(r, node, cfg, phases.sync, lammps.WorkCount{Ops: float64(tr.n) * 6, Bytes: tr.frameBytes})
+			r.Send(dst, tagFrame, st.cloneFrame(), tr.frameBytes)
 
 			// Step 3: rebuild a subset of data structures.
-			runWork(r, node, cfg, simPhases["rebuild"], lammps.WorkCount{Ops: float64(sys.N) * 4})
+			runWork(r, node, cfg, phases.rebuild, lammps.WorkCount{Ops: float64(tr.n) * 4})
 
 			// Step 4: particle count for verification.
-			r.Send(dst, tagCount, sys.N, 8)
+			r.Send(dst, tagCount, tr.n, 8)
 
 			// Step 5: update neighbor lists.
-			runWork(r, node, cfg, simPhases["neighbor"], sys.BuildNeighbors())
-		} else if sys.NeedsRebuild() {
+			runWork(r, node, cfg, phases.neighbor, st.neighbor)
+		} else if st.rebuilt {
 			// Physical-safety rebuild between synchronizations (the
 			// Verlet skin would otherwise be violated for large j);
 			// charged as ordinary neighbor work without synchronization.
-			runWork(r, node, cfg, simPhases["neighbor"], sys.BuildNeighbors())
+			runWork(r, node, cfg, phases.neighbor, st.neighbor)
 		}
 
 		// Step 6: force computation and final integration.
-		w := sys.ComputeForces()
-		w.Add(sys.FinalIntegrate())
-		runWork(r, node, cfg, simPhases["force"], w)
+		runWork(r, node, cfg, phases.force, st.force)
 
 		// Step 8: thermodynamic output at the end of each time step
 		// (communication- and I/O-intensive).
-		sums := simComm.AllreduceSum([]float64{sys.KineticEnergy(), sys.PotentialEnergy()})
+		sums := simComm.AllreduceSum([]float64{st.ke, st.pe})
 		_ = sums
-		runWork(r, node, cfg, simPhases["output"], lammps.WorkCount{Ops: float64(sys.N), Bytes: sys.ThermoBytes() * simComm.Size()})
+		runWork(r, node, cfg, phases.output, lammps.WorkCount{Ops: float64(tr.n), Bytes: tr.thermoBytes * simComm.Size()})
 	}
 
 	mu.Lock()
 	if simComm.Rank() == 0 {
-		res.FinalSimEnergy = sys.TotalEnergy()
+		res.FinalSimEnergy = tr.finalEnergy
 	}
 	mu.Unlock()
 }
 
 // runAnaRank is the per-synchronization loop of an analysis rank.
 func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
+	cfg *Config, tables *jobTables, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
 
 	// Instantiate this rank's analyses.
 	tasks := make([]analysis.Analysis, 0, len(cfg.Analyses))
@@ -407,12 +468,8 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 	}
 
 	// Which simulation ranks feed this analysis rank?
-	var sources []int
-	for s := 0; s < cfg.SimRanks; s++ {
-		if pairedAnaRank(s, cfg.SimRanks, cfg.AnaRanks) == r.WorldRank() {
-			sources = append(sources, s)
-		}
-	}
+	sources := tables.sources[r.WorldRank()-cfg.SimRanks]
+	phases := &tables.ana
 
 	for si, step := range syncSchedule {
 		applyFaults(cl, r, si+1)
@@ -429,7 +486,7 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 			frame := payload.(*lammps.Frame)
 
 			// Step 3: rebuild analysis-side data structures.
-			runWork(r, node, cfg, anaPhases["rebuild"], lammps.WorkCount{Ops: float64(len(frame.Pos)) * 4})
+			runWork(r, node, cfg, phases.rebuild, lammps.WorkCount{Ops: float64(len(frame.Pos)) * 4})
 
 			// Step 4: verification of the particle count.
 			before = r.Clock()
@@ -440,7 +497,7 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 			}
 
 			// Step 5: analysis-side neighbor/bookkeeping update.
-			runWork(r, node, cfg, anaPhases["neighbor"], lammps.WorkCount{Ops: float64(len(frame.Pos)) * 2})
+			runWork(r, node, cfg, phases.neighbor, lammps.WorkCount{Ops: float64(len(frame.Pos)) * 2})
 
 			// Step 7: the analyses due at this step run in sequence.
 			for _, t := range tasks {

@@ -21,6 +21,26 @@
 // sequence of collective operations. The runtime checks the operation
 // name at each rendezvous and panics loudly on mismatches instead of
 // deadlocking silently.
+//
+// # Scale
+//
+// The runtime is built to stay tractable at 4096+ ranks (see DESIGN.md,
+// "Scaling the substrate"). Collectives use a generation-gated, sharded
+// rendezvous: arrivals are lock-free (each member writes its own scratch
+// slot and decrements an atomic counter), the last arriver reduces and
+// publishes, and waiters park on a plain channel receive — never a
+// select, whose per-case lock on a shared cancellation channel would
+// serialize every park and wake through one lock. Large groups arrive in
+// ~sqrt(k) shards: members decrement a per-shard counter and park on a
+// per-shard gate; the last member of a shard becomes its leader,
+// decrements the group counter and parks at the root; the completing
+// rank releases the root, and the woken leaders fan the release out one
+// shard gate each, in parallel. The float64 reductions the power stack
+// issues on every synchronization take a typed fast path with no
+// interface boxing and a single result copy per rank. Mailboxes index
+// messages by (source, tag), so a receive matches in O(1) regardless of
+// backlog and a send wakes at most the one receiver waiting on that
+// pair.
 package mpi
 
 import (
@@ -28,6 +48,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -81,15 +102,19 @@ type Runtime struct {
 
 	mail []*mailbox
 
-	// Cancellation state. cancelErr is written once, before cancelled is
-	// set; it is read only after observing cancelled, so the atomic store
-	// orders the two. groups tracks every communicator group (world plus
-	// all Split products) so doCancel can wake their blocked waiters.
-	cancelled atomic.Bool
-	cancelErr error
+	// waitMetrics caches the per-op rendezvous-wait histogram handles so
+	// the hot path skips the registry's label lookup (and its lock) on
+	// every collective.
+	waitMetrics sync.Map // op string -> *telemetry.Metric
 
-	groupsMu sync.Mutex
-	groups   []*group
+	// Cancellation state. cancelErr is written once, under cancelMu,
+	// before cancelled is set; it is read only after observing cancelled.
+	// ranks lets doCancel reach every rank's parked-gate pointer; it is
+	// fully populated before the rank goroutines start.
+	cancelled atomic.Bool
+	cancelMu  sync.Mutex
+	cancelErr error
+	ranks     []*Rank
 }
 
 // errCanceled is the sentinel panic value that unwinds rank goroutines
@@ -97,73 +122,111 @@ type Runtime struct {
 // The rank wrapper recognizes it and does not report it as a rank panic.
 var errCanceled = errors.New("mpi: run cancelled")
 
-// newGroup creates a communicator group and registers it for
-// cancellation wakeups.
-func (rt *Runtime) newGroup(members []int) *group {
-	g := newGroup(members)
-	rt.groupsMu.Lock()
-	rt.groups = append(rt.groups, g)
-	rt.groupsMu.Unlock()
-	return g
-}
-
 // isCancelled reports whether the run has been cancelled.
 func (rt *Runtime) isCancelled() bool { return rt.cancelled.Load() }
 
 // doCancel marks the runtime cancelled and wakes every goroutine blocked
-// on a mailbox or a collective rendezvous. Broadcasting under each
-// waiter's own mutex closes the check-then-wait window: a waiter either
-// sees the flag before sleeping or is woken after.
+// on a mailbox or a collective rendezvous. The flag is set first; then
+// every rank's parked gate (published by arrive just before it blocks)
+// is force-opened — a CAS per gate arbitrates with a concurrently
+// completing collective — and every mailbox receives a wake token. A
+// rank rechecks the flag after publishing its gate and after every
+// mailbox wake, so either this walk observes the gate pointer, or the
+// rank's store came later in the seq-cst order than the walk's load —
+// in which case the flag store before the walk is visible to the
+// recheck and the rank unwinds instead of parking. Tracking parked
+// ranks (a fixed-size array) rather than a group registry also means
+// Split products are garbage-collected as usual instead of being
+// pinned for the life of the run.
 func (rt *Runtime) doCancel(err error) {
 	if err == nil {
 		err = context.Canceled
 	}
-	rt.groupsMu.Lock()
+	rt.cancelMu.Lock()
 	already := rt.cancelErr != nil
 	if !already {
 		rt.cancelErr = err
 	}
-	rt.groupsMu.Unlock()
+	rt.cancelMu.Unlock()
 	if already {
 		return
 	}
 	rt.cancelled.Store(true)
+	for _, r := range rt.ranks {
+		if g := r.parked.Load(); g != nil {
+			g.release()
+		}
+	}
 	for _, mb := range rt.mail {
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
+		select {
+		case mb.wake <- struct{}{}:
+		default:
+		}
 	}
-	rt.groupsMu.Lock()
-	gs := append([]*group(nil), rt.groups...)
-	rt.groupsMu.Unlock()
-	for _, g := range gs {
-		g.mu.Lock()
-		g.cond.Broadcast()
-		g.mu.Unlock()
+}
+
+// waitMetric returns the cached telemetry handle for one collective op's
+// rendezvous-wait histogram (nil when telemetry is disabled).
+func (rt *Runtime) waitMetric(op string) *telemetry.Metric {
+	if rt.tel == nil {
+		return nil
 	}
+	if m, ok := rt.waitMetrics.Load(op); ok {
+		return m.(*telemetry.Metric)
+	}
+	m := rt.tel.RendezvousWaitMetric(op)
+	rt.waitMetrics.Store(op, m)
+	return m
 }
 
 // message is a point-to-point payload in flight.
 type message struct {
-	src     int
-	tag     int
 	payload any
-	bytes   int
 	arrive  units.Seconds // earliest virtual time the receiver may own it
 }
 
-// mailbox is one rank's incoming message store.
-type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	// queued messages in arrival order; matching is by (src, tag).
+// pairKey identifies one (source rank, tag) message stream.
+type pairKey struct {
+	src, tag int
+}
+
+// msgQueue holds one (src, tag) stream's undelivered messages in FIFO
+// order. head indexes the next message, so delivery is O(1) and the
+// backing array is reused once drained.
+type msgQueue struct {
 	msgs []message
+	head int
+	// waiting marks the mailbox owner as parked on this stream; a sender
+	// appending here wakes it through the mailbox's wake channel.
+	waiting bool
+}
+
+// mailbox is one rank's incoming message store, indexed by (src, tag) so
+// a receive matches without scanning unrelated backlog.
+type mailbox struct {
+	mu     sync.Mutex
+	queues map[pairKey]*msgQueue
+	// wake is the owner's parking token (capacity 1). A rank blocks on at
+	// most one (src, tag) stream at a time, so one channel per mailbox
+	// suffices and senders to other streams never signal it.
+	wake chan struct{}
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
+	return &mailbox{
+		queues: make(map[pairKey]*msgQueue),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// queue returns the stream for key, creating it on first use.
+func (mb *mailbox) queue(key pairKey) *msgQueue {
+	q := mb.queues[key]
+	if q == nil {
+		q = &msgQueue{}
+		mb.queues[key] = q
+	}
+	return q
 }
 
 // Rank is the per-goroutine handle to the runtime: a world rank id, a
@@ -173,6 +236,12 @@ type Rank struct {
 	id    int
 	clock units.Seconds
 	world *Comm
+
+	// parked publishes the rendezvous gate this rank is about to block
+	// on, so doCancel can force it open. Only this rank stores it; the
+	// pointer is per-rank, so the two stores bracketing a park never
+	// contend.
+	parked atomic.Pointer[gate]
 }
 
 // Run executes body on n concurrent ranks and blocks until all return.
@@ -204,11 +273,22 @@ func RunContext(ctx context.Context, n int, cost CostModel, tel *telemetry.Hub, 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	rt := &Runtime{size: n, cost: cost, tel: tel, mail: make([]*mailbox, n)}
+	rt := &Runtime{
+		size: n,
+		cost: cost,
+		tel:  tel,
+		mail: make([]*mailbox, n),
+	}
 	for i := range rt.mail {
 		rt.mail[i] = newMailbox()
 	}
-	worldGroup := rt.newGroup(identity(n))
+	worldGroup := newGroup(identity(n))
+	rt.ranks = make([]*Rank, n)
+	for i := range rt.ranks {
+		rank := &Rank{rt: rt, id: i}
+		rank.world = &Comm{rank: rank, group: worldGroup, myRank: i}
+		rt.ranks[i] = rank
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, n)
@@ -224,9 +304,7 @@ func RunContext(ctx context.Context, n int, cost CostModel, tel *telemetry.Hub, 
 					errs[id] = fmt.Errorf("mpi: rank %d panicked: %v", id, r)
 				}
 			}()
-			rank := &Rank{rt: rt, id: id}
-			rank.world = &Comm{rank: rank, group: worldGroup, myRank: id}
-			body(rank)
+			body(rt.ranks[id])
 		}(i)
 	}
 
@@ -253,6 +331,8 @@ func RunContext(ctx context.Context, n int, cost CostModel, tel *telemetry.Hub, 
 		}
 	}
 	if rt.isCancelled() {
+		rt.cancelMu.Lock()
+		defer rt.cancelMu.Unlock()
 		return rt.cancelErr
 	}
 	return nil
@@ -313,18 +393,28 @@ func (r *Rank) Fail(err error) {
 
 // Send delivers a payload of the given modeled size to dst (world rank)
 // with a tag. The send is buffered: the sender continues immediately,
-// paying only the injection latency locally.
+// paying only the injection latency locally. The deposit is O(1) into
+// the (src, tag) stream, and only a receiver already parked on exactly
+// that stream is woken.
 func (r *Rank) Send(dst, tag int, payload any, bytes int) {
 	if dst < 0 || dst >= r.rt.size {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
 	}
 	flight := r.rt.cost.P2PCost(bytes)
-	msg := message{src: r.id, tag: tag, payload: payload, bytes: bytes, arrive: r.clock + flight}
+	msg := message{payload: payload, arrive: r.clock + flight}
 	mb := r.rt.mail[dst]
 	mb.mu.Lock()
-	mb.msgs = append(mb.msgs, msg)
+	q := mb.queue(pairKey{src: r.id, tag: tag})
+	q.msgs = append(q.msgs, msg)
+	notify := q.waiting
+	q.waiting = false
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	if notify {
+		select {
+		case mb.wake <- struct{}{}:
+		default:
+		}
+	}
 	// Injection overhead on the sender side.
 	r.clock += r.rt.cost.P2PLatency
 	r.rt.tel.MessageSent(bytes)
@@ -336,51 +426,172 @@ func (r *Rank) Send(dst, tag int, payload any, bytes int) {
 func (r *Rank) Recv(src, tag int) any {
 	mb := r.rt.mail[r.id]
 	mb.mu.Lock()
-	defer mb.mu.Unlock()
+	q := mb.queue(pairKey{src: src, tag: tag})
 	for {
-		for i, m := range mb.msgs {
-			if m.src == src && m.tag == tag {
-				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
-				r.AdvanceTo(m.arrive)
-				return m.payload
+		if q.head < len(q.msgs) {
+			m := q.msgs[q.head]
+			q.msgs[q.head] = message{} // release the payload reference
+			q.head++
+			if q.head == len(q.msgs) {
+				q.msgs = q.msgs[:0]
+				q.head = 0
 			}
+			mb.mu.Unlock()
+			r.AdvanceTo(m.arrive)
+			return m.payload
 		}
 		if r.rt.isCancelled() {
+			mb.mu.Unlock()
 			panic(errCanceled)
 		}
-		mb.cond.Wait()
+		q.waiting = true
+		mb.mu.Unlock()
+		// A plain receive, not a select: cancellation deposits a token in
+		// every mailbox's wake channel after setting the flag, and the loop
+		// rechecks the flag on every pass, so no shared cancel channel is
+		// locked on the park/unpark path.
+		<-mb.wake
+		mb.mu.Lock()
+		q.waiting = false
 	}
+}
+
+// gate is a one-shot release point: waiters park on a plain channel
+// receive, and release arbitrates the close between a completing
+// collective and a concurrent cancellation with one CAS.
+type gate struct {
+	ch     chan struct{}
+	closed atomic.Bool
+}
+
+func newGate() gate { return gate{ch: make(chan struct{})} }
+
+func (g *gate) release() {
+	if g.closed.CompareAndSwap(false, true) {
+		close(g.ch)
+	}
+}
+
+// rendezvousState is the publication side of one collective generation:
+// the last arriver fills it, sets completed and releases the gates;
+// waiters read it afterwards. A gate released without completed set
+// means the run was cancelled mid-collective. A fresh state per
+// generation keeps late readers safe while the group's arrival scratch
+// is already being reused by the next collective.
+type rendezvousState struct {
+	completed atomic.Bool
+	result    any       // untyped collectives
+	floats    []float64 // typed float64 reductions
+	resClock  units.Seconds
+	// poisoned carries a collective-mismatch or reduce-failure message;
+	// every member panics with it instead of hanging.
+	poisoned string
+
+	// root releases shard leaders (or, in small groups, every member);
+	// shards[i] releases shard i's non-leader members.
+	root   gate
+	shards []gate
+}
+
+// shardCounter is a cache-line-padded arrival counter, one per shard, so
+// concurrent decrements from different shards never bounce a line.
+type shardCounter struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // group is the shared state of a communicator: its members and the
-// rendezvous slot used by collectives.
+// rendezvous scratch used by collectives.
+//
+// Arrival is lock-free: member i writes only slot i of the scratch
+// arrays and then decrements an atomic counter; the member that observes
+// zero proceeds up the tree, and the atomic counters order every slot
+// write before its reads (the sync.WaitGroup pattern). In groups of 64+
+// the counters form a two-level tree of ~sqrt(k) shards: the last
+// arriver of a shard is its leader and decrements the group counter; the
+// last leader is the completer. The completer reduces, publishes into
+// the current rendezvousState, re-arms the group for the next generation
+// and releases the root gate; woken leaders re-arm and release their
+// shard gates in parallel, so neither the arrival CASes nor the wakeup
+// channel locks serialize 4096 ranks through one word.
 type group struct {
 	members []int // world ids, ordered by rank-in-group
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	// shardSize is the member count per shard (== len(members) when the
+	// group is too small to shard; shardPending is nil then and pending
+	// counts ranks instead of shards).
+	shardSize    int
+	pending      atomic.Int64
+	shardPending []shardCounter
 
-	gen      int
-	opName   string
-	count    int
-	inputs   []any
-	clocks   []units.Seconds
-	bytes    int
-	reduce   func(inputs []any) any
-	result   any
-	resClock units.Seconds
-	// poisoned is set when a member detected a collective mismatch;
-	// all waiters abort instead of hanging.
-	poisoned string
+	ops    []string
+	inputs []any
+	floats [][]float64
+	clocks []units.Seconds
+	bytes  []int
+
+	// cur is the in-progress generation. Only the completer of the
+	// previous generation stores it, before releasing that generation's
+	// gates; doCancel loads it to force the gates open.
+	cur atomic.Pointer[rendezvousState]
+}
+
+// shardSizeFor picks the arrival-tree fan-in for a k-member group:
+// roughly sqrt(k), rounded to a power of two. Below 64 members the extra
+// tree level costs more than the contention it removes.
+func shardSizeFor(k int) int {
+	if k < 64 {
+		return k
+	}
+	return 1 << ((bits.Len(uint(k-1)) + 1) / 2)
+}
+
+// shardLen returns shard s's member count (the last shard may be short).
+func (g *group) shardLen(s int) int {
+	lo := s * g.shardSize
+	hi := lo + g.shardSize
+	if hi > len(g.members) {
+		hi = len(g.members)
+	}
+	return hi - lo
+}
+
+// newState allocates the next generation's gates matching the group's
+// shard layout.
+func (g *group) newState() *rendezvousState {
+	st := &rendezvousState{root: newGate()}
+	if n := len(g.shardPending); n > 0 {
+		st.shards = make([]gate, n)
+		for i := range st.shards {
+			st.shards[i] = newGate()
+		}
+	}
+	return st
 }
 
 func newGroup(members []int) *group {
+	k := len(members)
 	g := &group{
 		members: members,
-		inputs:  make([]any, len(members)),
-		clocks:  make([]units.Seconds, len(members)),
+		ops:     make([]string, k),
+		inputs:  make([]any, k),
+		floats:  make([][]float64, k),
+		clocks:  make([]units.Seconds, k),
+		bytes:   make([]int, k),
 	}
-	g.cond = sync.NewCond(&g.mu)
+	if size := shardSizeFor(k); size < k {
+		g.shardSize = size
+		ns := (k + size - 1) / size
+		g.shardPending = make([]shardCounter, ns)
+		for s := range g.shardPending {
+			g.shardPending[s].n.Store(int64(g.shardLen(s)))
+		}
+		g.pending.Store(int64(ns))
+	} else {
+		g.shardSize = k
+		g.pending.Store(int64(k))
+	}
+	g.cur.Store(g.newState())
 	return g
 }
 
@@ -400,98 +611,226 @@ func (c *Comm) Size() int { return len(c.group.members) }
 // WorldRankOf translates a rank in this communicator to a world rank.
 func (c *Comm) WorldRankOf(rank int) int { return c.group.members[rank] }
 
-// rendezvous runs one lockstep collective: every member contributes
-// (opName, input, payload bytes); the last arriver reduces and publishes;
-// all leave with the merged clock. The cost model charges a log-tree
-// traversal over the max payload size.
-func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(inputs []any) any) any {
+// arrive contributes one member's (opName, payload, clock) to the
+// current collective generation and blocks until the last arriver
+// publishes, returning that generation's state. Exactly one of
+// input/reduce (untyped) or fvals/freduce (typed float64) is used.
+func (c *Comm) arrive(opName string, bytes int, input any, fvals []float64,
+	reduce func([]any) any, freduce func([][]float64) []float64) *rendezvousState {
+
 	g := c.group
-	k := len(g.members)
-	if c.rank.rt.isCancelled() {
+	rt := c.rank.rt
+	if rt.isCancelled() {
 		panic(errCanceled)
 	}
-	if k == 1 {
-		// Single-member communicator: the operation is local.
-		out := reduce([]any{input})
-		return out
-	}
-	g.mu.Lock()
-	myGen := g.gen
-	if g.poisoned != "" {
-		msg := g.poisoned
-		g.mu.Unlock()
-		panic(msg)
-	}
-	if g.count == 0 {
-		g.opName = opName
-		g.bytes = bytes
-		g.reduce = reduce
-	} else if g.opName != opName {
-		g.poisoned = fmt.Sprintf("mpi: collective mismatch on communicator: %q vs %q", g.opName, opName)
-		g.cond.Broadcast()
-		msg := g.poisoned
-		g.mu.Unlock()
-		panic(msg)
-	}
-	if bytes > g.bytes {
-		g.bytes = bytes
-	}
-	g.inputs[c.myRank] = input
-	g.clocks[c.myRank] = c.rank.clock
-	g.count++
-	if g.count == k {
-		// Last arriver: merge clocks, charge cost, reduce. A panicking
-		// reduce (malformed collective arguments) must poison the group
-		// so waiters abort instead of hanging.
-		var maxClock units.Seconds
-		for _, cl := range g.clocks {
-			if cl > maxClock {
-				maxClock = cl
-			}
+	st := g.cur.Load()
+	me := c.myRank
+	g.ops[me] = opName
+	g.bytes[me] = bytes
+	g.clocks[me] = c.rank.clock
+	g.inputs[me] = input
+	g.floats[me] = fvals
+
+	if g.shardPending == nil {
+		if g.pending.Add(-1) > 0 {
+			c.rank.park(&st.root, st)
+		} else {
+			c.complete(st, reduce, freduce)
 		}
-		cost := c.rank.rt.cost.CollectiveCost(k, g.bytes)
-		g.resClock = maxClock + cost
+	} else {
+		s := me / g.shardSize
+		if g.shardPending[s].n.Add(-1) > 0 {
+			c.rank.park(&st.shards[s], st)
+		} else if g.pending.Add(-1) > 0 {
+			// Shard leader: park at the root, then re-arm this shard's
+			// counter and fan the release out through its own gate, so the
+			// wakeup storm is spread over ~sqrt(k) channel locks instead of
+			// serializing every waiter through one.
+			c.rank.park(&st.root, st)
+			g.shardPending[s].n.Store(int64(g.shardLen(s)))
+			st.shards[s].release()
+		} else {
+			c.complete(st, reduce, freduce)
+			g.shardPending[s].n.Store(int64(g.shardLen(s)))
+			st.shards[s].release()
+		}
+	}
+	if st.poisoned != "" {
+		panic(st.poisoned)
+	}
+	return st
+}
+
+// park publishes the gate this rank is about to block on, rechecks the
+// cancellation flag, blocks, and verifies the generation genuinely
+// completed. The recheck after the store is what closes the
+// check-then-park window: if doCancel's walk ran before the store, its
+// flag store is seq-cst-before this load and the rank unwinds instead
+// of parking on a gate nobody will open; otherwise the walk sees the
+// pointer and opens the gate. A gate opened by cancellation rather than
+// by a completing collective leaves completed unset, and the rank
+// unwinds then too.
+func (r *Rank) park(g *gate, st *rendezvousState) {
+	r.parked.Store(g)
+	if r.rt.isCancelled() {
+		r.parked.Store(nil)
+		panic(errCanceled)
+	}
+	<-g.ch
+	r.parked.Store(nil)
+	if !st.completed.Load() {
+		panic(errCanceled)
+	}
+}
+
+// complete is the completer's half of the rendezvous: verify the SPMD
+// op discipline, merge clocks, charge the modeled cost, reduce, re-arm
+// the group scratch for the next generation and release the root gate.
+// (The caller releases the completer's own shard, if any.)
+func (c *Comm) complete(st *rendezvousState, reduce func([]any) any, freduce func([][]float64) []float64) {
+	g := c.group
+	k := len(g.members)
+	op := g.ops[0]
+	for i := 1; i < k; i++ {
+		if g.ops[i] != op {
+			st.poisoned = fmt.Sprintf("mpi: collective mismatch on communicator: %q vs %q", op, g.ops[i])
+			break
+		}
+	}
+	var maxClock units.Seconds
+	maxBytes := 0
+	for i := 0; i < k; i++ {
+		if g.clocks[i] > maxClock {
+			maxClock = g.clocks[i]
+		}
+		if g.bytes[i] > maxBytes {
+			maxBytes = g.bytes[i]
+		}
+	}
+	st.resClock = maxClock + c.rank.rt.cost.CollectiveCost(k, maxBytes)
+	if st.poisoned == "" {
+		// A panicking reduce (malformed collective arguments) must poison
+		// the group so waiters abort instead of hanging.
 		func() {
 			defer func() {
 				if rec := recover(); rec != nil {
-					g.poisoned = fmt.Sprint(rec)
-					g.cond.Broadcast()
-					g.mu.Unlock()
-					panic(rec)
+					st.poisoned = fmt.Sprint(rec)
 				}
 			}()
-			g.result = g.reduce(g.inputs)
+			if freduce != nil {
+				st.floats = freduce(g.floats[:k])
+			} else {
+				st.result = reduce(g.inputs[:k])
+			}
 		}()
-		g.count = 0
-		g.gen++
-		g.cond.Broadcast()
+	}
+	// Re-arm before the release: woken members may immediately start the
+	// next collective on this group, and they must find a fresh state and
+	// a full pending count. The gate release orders these writes before
+	// any waiter's next arrival. (Shard counters are re-armed by each
+	// shard's leader before it releases that shard.)
+	g.cur.Store(g.newState())
+	if g.shardPending != nil {
+		g.pending.Store(int64(len(g.shardPending)))
 	} else {
-		for g.gen == myGen && g.poisoned == "" && !c.rank.rt.isCancelled() {
-			g.cond.Wait()
+		g.pending.Store(int64(k))
+	}
+	st.completed.Store(true)
+	st.root.release()
+}
+
+// finish applies a completed collective's clock to the rank and reports
+// the rendezvous wait, returning when the rank owns the merged clock.
+func (c *Comm) finish(opName string, st *rendezvousState) {
+	arrival := c.rank.clock
+	c.rank.AdvanceTo(st.resClock)
+	if wait := c.rank.clock - arrival; wait > 0 {
+		if m := c.rank.rt.waitMetric(opName); m != nil {
+			m.Observe(float64(wait))
 		}
-		if g.poisoned != "" {
-			msg := g.poisoned
-			g.mu.Unlock()
-			panic(msg)
-		}
-		if g.gen == myGen {
-			// Woken by cancellation with the collective still incomplete:
-			// withdraw the contribution so the group state stays coherent
-			// for any diagnostic inspection, then unwind.
-			g.inputs[c.myRank] = nil
-			g.count--
-			g.mu.Unlock()
+	}
+}
+
+// rendezvous runs one lockstep collective over boxed payloads: every
+// member contributes (opName, input, payload bytes); the last arriver
+// reduces and publishes; all leave with the merged clock. The cost model
+// charges a log-tree traversal over the max payload size.
+func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(inputs []any) any) any {
+	if len(c.group.members) == 1 {
+		// Single-member communicator: the operation is local.
+		if c.rank.rt.isCancelled() {
 			panic(errCanceled)
 		}
+		return reduce([]any{input})
 	}
-	res := g.result
-	arrival := c.rank.clock
-	c.rank.AdvanceTo(g.resClock)
-	g.mu.Unlock()
-	if wait := c.rank.clock - arrival; wait > 0 {
-		c.rank.rt.tel.RendezvousWait(opName, float64(wait))
+	st := c.arrive(opName, bytes, input, nil, reduce, nil)
+	c.finish(opName, st)
+	return st.result
+}
+
+// rendezvousFloats is the typed fast path for the float64 reductions the
+// power stack issues on every synchronization: no interface boxing, no
+// defensive input copy (the contributing slice is only read before the
+// generation completes, while its owner is still blocked), and a single
+// result copy per rank.
+func (c *Comm) rendezvousFloats(opName string, vals []float64, freduce func([][]float64) []float64) []float64 {
+	if len(c.group.members) == 1 {
+		if c.rank.rt.isCancelled() {
+			panic(errCanceled)
+		}
+		return freduce([][]float64{vals})
 	}
-	return res
+	st := c.arrive(opName, 8*len(vals), nil, vals, nil, freduce)
+	out := append([]float64(nil), st.floats...)
+	c.finish(opName, st)
+	return out
+}
+
+// sumFloats element-wise sums the members' slices in rank order (the
+// float addition order is part of the determinism contract).
+func sumFloats(inputs [][]float64) []float64 {
+	out := make([]float64, len(inputs[0]))
+	for _, xs := range inputs {
+		if len(xs) != len(out) {
+			panic("mpi: allreduce length mismatch")
+		}
+		for i, x := range xs {
+			out[i] += x
+		}
+	}
+	return out
+}
+
+// maxFloats element-wise maxes the members' slices.
+func maxFloats(inputs [][]float64) []float64 {
+	out := append([]float64(nil), inputs[0]...)
+	for _, xs := range inputs[1:] {
+		if len(xs) != len(out) {
+			panic("mpi: allreduce length mismatch")
+		}
+		for i, x := range xs {
+			if x > out[i] {
+				out[i] = x
+			}
+		}
+	}
+	return out
+}
+
+// minFloats element-wise mins the members' slices.
+func minFloats(inputs [][]float64) []float64 {
+	out := append([]float64(nil), inputs[0]...)
+	for _, xs := range inputs[1:] {
+		if len(xs) != len(out) {
+			panic("mpi: allreduce length mismatch")
+		}
+		for i, x := range xs {
+			if x < out[i] {
+				out[i] = x
+			}
+		}
+	}
+	return out
 }
 
 // Barrier blocks until all members arrive; all leave at the merged
@@ -503,60 +842,17 @@ func (c *Comm) Barrier() {
 // AllreduceSum element-wise sums float64 slices across members. All
 // slices must have equal length.
 func (c *Comm) AllreduceSum(vals []float64) []float64 {
-	res := c.rendezvous("allreduce-sum", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
-		out := make([]float64, len(inputs[0].([]float64)))
-		for _, in := range inputs {
-			xs := in.([]float64)
-			if len(xs) != len(out) {
-				panic("mpi: allreduce length mismatch")
-			}
-			for i, x := range xs {
-				out[i] += x
-			}
-		}
-		return out
-	})
-	return append([]float64(nil), res.([]float64)...)
+	return c.rendezvousFloats("allreduce-sum", vals, sumFloats)
 }
 
 // AllreduceMax element-wise maxes float64 slices across members.
 func (c *Comm) AllreduceMax(vals []float64) []float64 {
-	res := c.rendezvous("allreduce-max", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
-		out := append([]float64(nil), inputs[0].([]float64)...)
-		for _, in := range inputs[1:] {
-			xs := in.([]float64)
-			if len(xs) != len(out) {
-				panic("mpi: allreduce length mismatch")
-			}
-			for i, x := range xs {
-				if x > out[i] {
-					out[i] = x
-				}
-			}
-		}
-		return out
-	})
-	return append([]float64(nil), res.([]float64)...)
+	return c.rendezvousFloats("allreduce-max", vals, maxFloats)
 }
 
 // AllreduceMin element-wise mins float64 slices across members.
 func (c *Comm) AllreduceMin(vals []float64) []float64 {
-	res := c.rendezvous("allreduce-min", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
-		out := append([]float64(nil), inputs[0].([]float64)...)
-		for _, in := range inputs[1:] {
-			xs := in.([]float64)
-			if len(xs) != len(out) {
-				panic("mpi: allreduce length mismatch")
-			}
-			for i, x := range xs {
-				if x < out[i] {
-					out[i] = x
-				}
-			}
-		}
-		return out
-	})
-	return append([]float64(nil), res.([]float64)...)
+	return c.rendezvousFloats("allreduce-min", vals, minFloats)
 }
 
 // Bcast distributes root's payload (of modeled size bytes) to all
@@ -623,9 +919,7 @@ func (c *Comm) Split(color, key int) *Comm {
 				for i, sk := range sks {
 					members[i] = sk.world
 				}
-				// Register through the runtime so cancellation can wake
-				// waiters blocked on this sub-communicator too.
-				groups[color] = c.rank.rt.newGroup(members)
+				groups[color] = newGroup(members)
 			}
 			return groups
 		})

@@ -11,28 +11,32 @@ import (
 )
 
 // ReduceSum element-wise sums float64 slices at root; root receives the
-// reduction, other ranks receive nil. All members synchronize.
+// reduction, other ranks receive nil. All members synchronize. Like the
+// Allreduce family, rooted reductions ride the typed float64 rendezvous
+// path (no boxing, no defensive input copy).
 func (c *Comm) ReduceSum(root int, vals []float64) []float64 {
 	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
 	}
-	res := c.rendezvous("reduce-sum", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
-		out := make([]float64, len(inputs[0].([]float64)))
-		for _, in := range inputs {
-			xs := in.([]float64)
-			if len(xs) != len(out) {
-				panic("mpi: reduce length mismatch")
-			}
-			for i, x := range xs {
-				out[i] += x
-			}
-		}
-		return out
-	})
+	res := c.rendezvousFloats("reduce-sum", vals, reduceSumFloats)
 	if c.myRank != root {
 		return nil
 	}
-	return append([]float64(nil), res.([]float64)...)
+	return res
+}
+
+// reduceSumFloats mirrors sumFloats with the reduce-family panic text.
+func reduceSumFloats(inputs [][]float64) []float64 {
+	out := make([]float64, len(inputs[0]))
+	for _, xs := range inputs {
+		if len(xs) != len(out) {
+			panic("mpi: reduce length mismatch")
+		}
+		for i, x := range xs {
+			out[i] += x
+		}
+	}
+	return out
 }
 
 // ReduceMax element-wise maxes float64 slices at root.
@@ -40,25 +44,27 @@ func (c *Comm) ReduceMax(root int, vals []float64) []float64 {
 	if root < 0 || root >= c.Size() {
 		panic(fmt.Sprintf("mpi: reduce root %d out of range", root))
 	}
-	res := c.rendezvous("reduce-max", append([]float64(nil), vals...), 8*len(vals), func(inputs []any) any {
-		out := append([]float64(nil), inputs[0].([]float64)...)
-		for _, in := range inputs[1:] {
-			xs := in.([]float64)
-			if len(xs) != len(out) {
-				panic("mpi: reduce length mismatch")
-			}
-			for i, x := range xs {
-				if x > out[i] {
-					out[i] = x
-				}
-			}
-		}
-		return out
-	})
+	res := c.rendezvousFloats("reduce-max", vals, reduceMaxFloats)
 	if c.myRank != root {
 		return nil
 	}
-	return append([]float64(nil), res.([]float64)...)
+	return res
+}
+
+// reduceMaxFloats mirrors maxFloats with the reduce-family panic text.
+func reduceMaxFloats(inputs [][]float64) []float64 {
+	out := append([]float64(nil), inputs[0]...)
+	for _, xs := range inputs[1:] {
+		if len(xs) != len(out) {
+			panic("mpi: reduce length mismatch")
+		}
+		for i, x := range xs {
+			if x > out[i] {
+				out[i] = x
+			}
+		}
+	}
+	return out
 }
 
 // Scatter distributes one element of root's items slice to each member
@@ -122,12 +128,8 @@ func (q *Request) Test() bool {
 	mb := q.rank.rt.mail[q.rank.id]
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for _, m := range mb.msgs {
-		if m.src == q.src && m.tag == q.tag {
-			return true
-		}
-	}
-	return false
+	mq := mb.queues[pairKey{src: q.src, tag: q.tag}]
+	return mq != nil && mq.head < len(mq.msgs)
 }
 
 // Wtime returns the rank's virtual clock, mirroring MPI_Wtime.

@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestScaleSmoke1024 drives the full substrate surface at 1024 ranks in
+// one job: sharded collectives over the world group, Split
+// sub-communicators with their own shard layouts, and point-to-point
+// fan-in. Under -race (make check runs the package that way) this is
+// the memory-model audit of the sharded rendezvous — lock-free scratch
+// writes, counter cascades, gate releases and mailbox wakeups must all
+// form clean happens-before chains at full scale.
+func TestScaleSmoke1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke test")
+	}
+	const n = 1024
+	err := Run(n, DefaultCost(), func(r *Rank) {
+		w := r.World()
+		me := r.WorldRank()
+		for iter := 0; iter < 3; iter++ {
+			w.Barrier()
+			sum := w.AllreduceSum([]float64{1, float64(me)})
+			if sum[0] != n || sum[1] != n*(n-1)/2 {
+				panic(fmt.Sprintf("allreduce-sum wrong at scale: %v", sum))
+			}
+			if got := w.AllreduceMax([]float64{float64(me)})[0]; got != n-1 {
+				panic(fmt.Sprintf("allreduce-max wrong at scale: %v", got))
+			}
+		}
+
+		// Eight column sub-communicators: 128 members each, so their
+		// groups get a shard layout of their own.
+		sub := w.Split(me%8, me)
+		if got := sub.AllreduceSum([]float64{1})[0]; got != n/8 {
+			panic(fmt.Sprintf("sub-communicator allreduce wrong: %v", got))
+		}
+		sub.Barrier()
+
+		// Fan-in: every rank reports to world rank 0.
+		if me == 0 {
+			total := 0
+			for src := 1; src < n; src++ {
+				total += r.Recv(src, 5).(int)
+			}
+			if total != (n-1)*n/2 {
+				panic(fmt.Sprintf("fan-in sum wrong: %d", total))
+			}
+		} else {
+			r.Send(0, 5, me, 8)
+		}
+		w.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaleSmokeCancel1024 parks 1023 ranks in a barrier that can never
+// complete (rank 0 never arrives — it is blocked in a receive with no
+// matching send) and cancels: every shard gate and the mailbox must be
+// force-opened, and the job must return the context error promptly.
+func TestScaleSmokeCancel1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale smoke test")
+	}
+	const n = 1024
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- RunContext(ctx, n, DefaultCost(), nil, func(r *Rank) {
+			if r.WorldRank() == 0 {
+				r.Recv(1, 9) // never sent
+				t.Error("Recv returned after cancellation")
+				return
+			}
+			r.World().Barrier()
+			t.Errorf("rank %d passed a barrier missing a member", r.WorldRank())
+		})
+	}()
+	time.Sleep(100 * time.Millisecond) // let the ranks park
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunContext did not return after cancel: scale waiters leaked")
+	}
+}

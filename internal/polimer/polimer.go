@@ -87,6 +87,11 @@ type Manager struct {
 	log      *trace.SyncLog // root only
 	overhead units.Seconds  // cumulative allocator overhead (local)
 	monitor  *Monitor       // optional periodic power sampler
+
+	// idleWaitM is the telemetry handle for this partition's idle-trough
+	// histogram, resolved once at Init so PowerAlloc skips the registry's
+	// label lookup at every synchronization (nil when telemetry is off).
+	idleWaitM *telemetry.Metric
 }
 
 // AttachMonitor registers a Monitor that PowerAlloc polls at every
@@ -127,6 +132,7 @@ func Init(rank *mpi.Rank, role core.Role, node *machine.Node, opts Options) (*Ma
 	if rank.WorldRank() == opts.Root {
 		m.log = &trace.SyncLog{}
 	}
+	m.idleWaitM = opts.Telemetry.IdleWaitMetric(role.String())
 	m.lastClock = rank.Clock()
 	m.lastEnergy = node.RAPL().Energy()
 	return m, nil
@@ -206,7 +212,9 @@ func (m *Manager) PowerAlloc() {
 		// the paper's Figure 1), drawing idle power.
 		m.node.Idle(wait)
 		m.prevWait = wait
-		m.opts.Telemetry.IdleWait(m.role.String(), float64(wait))
+		if m.idleWaitM != nil {
+			m.idleWaitM.Observe(float64(wait))
+		}
 	}
 	if m.monitor != nil {
 		m.monitor.Poll()

@@ -63,6 +63,15 @@ type Hub struct {
 	campCellSec  *Family // histogram{campaign}: campaign cell duration
 	eventsTotal  *Family // counter{kind}
 	droppedTotal *Family // counter: ring/sink drops
+
+	// Resolved children of the label-less hot-path families, cached at
+	// construction so per-message and per-sync increments skip the
+	// registry's child lookup (and its lock) entirely.
+	msgsM       *Metric
+	msgBytesM   *Metric
+	syncsM      *Metric
+	wallHistM   *Metric
+	slackGaugeM *Metric
 }
 
 // New returns a Hub with the standard metric families registered.
@@ -100,7 +109,32 @@ func New(o Options) *Hub {
 		eventsTotal:  reg.Counter("seesaw_events_total", "Structured events emitted", "kind"),
 		droppedTotal: reg.Counter("seesaw_events_dropped_total", "Structured events lost to sink errors"),
 	}
+	h.msgsM = h.msgs.With()
+	h.msgBytesM = h.msgBytes.With()
+	h.syncsM = h.syncs.With()
+	h.wallHistM = h.wallHist.With()
+	h.slackGaugeM = h.slackGauge.With()
 	return h
+}
+
+// RendezvousWaitMetric returns the collective-wait histogram series for
+// one op, for callers (the mpi runtime) that cache the handle instead of
+// paying a label lookup on every collective. Nil on a nil hub.
+func (h *Hub) RendezvousWaitMetric(op string) *Metric {
+	if h == nil {
+		return nil
+	}
+	return h.rendWait.With(op)
+}
+
+// IdleWaitMetric returns the idle-trough histogram series for one
+// partition, for callers (the PoLiMER manager) that cache the handle
+// across synchronizations. Nil on a nil hub.
+func (h *Hub) IdleWaitMetric(partition string) *Metric {
+	if h == nil {
+		return nil
+	}
+	return h.idleHist.With(partition)
 }
 
 // Registry returns the hub's metric registry (nil for a nil hub).
@@ -276,8 +310,8 @@ func (h *Hub) MessageSent(bytes int) {
 	if h == nil {
 		return
 	}
-	h.msgs.With().Inc()
-	h.msgBytes.With().Add(float64(bytes))
+	h.msgsM.Inc()
+	h.msgBytesM.Add(float64(bytes))
 }
 
 // SyncBarrier reports one completed synchronization interval.
@@ -285,9 +319,9 @@ func (h *Hub) SyncBarrier(t float64, step int, wallS, simS, anaS, slack, overhea
 	if h == nil {
 		return
 	}
-	h.syncs.With().Inc()
-	h.wallHist.With().Observe(wallS)
-	h.slackGauge.With().Set(slack)
+	h.syncsM.Inc()
+	h.wallHistM.Observe(wallS)
+	h.slackGaugeM.Set(slack)
 	h.Emit(SyncBarrier{T: t, Step: step, WallS: wallS, SimS: simS, AnaS: anaS, Slack: slack, Overhead: overheadS})
 }
 
