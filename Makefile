@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-smoke clean
+.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-profile bench-scale-smoke clean
 
 all: build
 
@@ -43,17 +43,35 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # bench-scale measures the substrate at 256/1024/4096 ranks: the mpi
-# collective/mailbox microbenchmarks and the whole-job insitu macro
-# benchmark. Results feed BENCH_scale.json (see EXPERIMENTS.md).
+# collective/mailbox microbenchmarks, the whole-job insitu macro
+# benchmark, and the telemetry hot paths under a GOMAXPROCS 1/4/8
+# scaling study (-cpu re-runs each benchmark at every parallelism
+# level). Results feed BENCH_scale.json / BENCH_scale2.json (see
+# EXPERIMENTS.md).
 bench-scale:
 	$(GO) test -run xxx -bench . -benchtime 2s ./internal/mpi/
 	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x -count 3 ./internal/insitu/
+	$(GO) test -run xxx -bench . -benchtime 1s -cpu 1,4,8 ./internal/telemetry/
+
+# bench-scale-profile repeats the measurement run with CPU and heap
+# profiles written per package (insitu.cpu.out etc.); CI uploads them
+# as artifacts so a regression can be diagnosed from the run itself.
+bench-scale-profile:
+	$(GO) test -run xxx -bench . -benchtime 1s \
+		-cpuprofile mpi.cpu.out -memprofile mpi.mem.out ./internal/mpi/
+	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x \
+		-cpuprofile insitu.cpu.out -memprofile insitu.mem.out ./internal/insitu/
+	$(GO) test -run xxx -bench . -benchtime 0.3s -cpu 4 \
+		-cpuprofile telemetry.cpu.out -memprofile telemetry.mem.out ./internal/telemetry/
 
 # bench-scale-smoke runs every scale benchmark for one iteration — a
-# correctness gate (part of `make check`), not a measurement.
+# correctness gate (part of `make check`), not a measurement. CI runs
+# it at GOMAXPROCS=1 (via `make check`) and again at GOMAXPROCS=4 so
+# the striped/lock-free paths see real parallelism.
 bench-scale-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/mpi/
 	$(GO) test -run xxx -bench 'BenchmarkInsituScale/nodes=256' -benchtime 1x ./internal/insitu/
+	$(GO) test -run xxx -bench . -benchtime 1x ./internal/telemetry/
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,8 @@
 //
 //	insitu [-policy seesaw] [-analyses msd,rdf] [-sim 2] [-ana 2]
 //	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1]
-//	       [-faults PLAN] [-csv] [-cpuprofile FILE] [-memprofile FILE]
+//	       [-faults PLAN] [-no-ana-memo] [-csv]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -faults injects a deterministic fault plan (internal/fault grammar,
 // e.g. "slow:1@5x2+20" or "kill:3@20"). A slow excursion degrades the
@@ -50,6 +51,7 @@ func main() {
 	capPer := flag.Float64("cap", 110, "per-node power budget (W)")
 	seed := flag.Uint64("seed", 1, "job seed")
 	faults := flag.String("faults", "", "fault plan, e.g. 'slow:1@5x2+20' or 'kill:3@20' (see internal/fault)")
+	noAnaMemo := flag.Bool("no-ana-memo", false, "disable analysis-side memoization (run every rank's kernels in place; results are byte-identical either way)")
 	csv := flag.Bool("csv", false, "emit the per-synchronization log as CSV")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the job to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the job to this file")
@@ -106,6 +108,7 @@ func main() {
 		Constraints: cons,
 		Seed:        *seed,
 		Faults:      plan,
+		NoAnaMemo:   *noAnaMemo,
 	})
 	if err != nil {
 		var ke *fault.KilledError

@@ -3,8 +3,10 @@ package bench
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -42,6 +44,46 @@ func TestReportByteIdenticalAcrossJobs(t *testing.T) {
 	}
 	if len(seq) < 1000 {
 		t.Errorf("full report suspiciously small: %d bytes", len(seq))
+	}
+}
+
+// TestReportByteIdenticalAcrossGOMAXPROCS crosses the worker-pool axis
+// with the scheduler-parallelism axis: the report rendered with jobs∈{1,8}
+// under GOMAXPROCS∈{1,8} must produce one identical byte stream. True
+// parallelism changes which rank goroutines run simultaneously — striped
+// telemetry cells, amortized Split completion and memoized analysis
+// replay must all stay invisible to the output.
+func TestReportByteIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the report four times")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var ref []byte
+	var refDesc string
+	for _, procs := range []int{1, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, jobs := range []int{1, 8} {
+			o := fastOptions()
+			o.Jobs = jobs
+			var buf bytes.Buffer
+			if err := WriteReport(context.Background(), &buf, o, nil); err != nil {
+				t.Fatalf("WriteReport(GOMAXPROCS=%d, jobs=%d): %v", procs, jobs, err)
+			}
+			desc := fmt.Sprintf("GOMAXPROCS=%d jobs=%d", procs, jobs)
+			if ref == nil {
+				ref, refDesc = buf.Bytes(), desc
+				continue
+			}
+			if got := buf.Bytes(); !bytes.Equal(got, ref) {
+				i := 0
+				for i < len(got) && i < len(ref) && got[i] == ref[i] {
+					i++
+				}
+				t.Fatalf("report differs between %s and %s at byte %d: %q vs %q",
+					refDesc, desc, i, excerpt(ref, i), excerpt(got, i))
+			}
+		}
 	}
 }
 

@@ -14,6 +14,11 @@ type instrumented struct {
 	inner Policy
 	hub   *telemetry.Hub
 	clock func() float64
+	// Per-partition power histogram handles, resolved once: Allocate
+	// observes one sample per node per interval and must not pay a
+	// family label lookup (plus a Role→string conversion) for each.
+	powerSimM *telemetry.Metric
+	powerAnaM *telemetry.Metric
 }
 
 // Instrument wraps p so that every non-nil allocation emits a
@@ -25,7 +30,11 @@ func Instrument(p Policy, h *telemetry.Hub, clock func() float64) Policy {
 	if h == nil || p == nil {
 		return p
 	}
-	return &instrumented{inner: p, hub: h, clock: clock}
+	return &instrumented{
+		inner: p, hub: h, clock: clock,
+		powerSimM: h.NodePowerMetric(RoleSimulation.String()),
+		powerAnaM: h.NodePowerMetric(RoleAnalysis.String()),
+	}
 }
 
 // Name implements Policy.
@@ -37,7 +46,14 @@ func (ip *instrumented) Name() string { return ip.inner.Name() }
 // (time, power, cap) stream the policy does.
 func (ip *instrumented) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	for _, n := range nodes {
-		ip.hub.NodePower(n.Role.String(), float64(n.Power))
+		switch n.Role {
+		case RoleSimulation:
+			ip.powerSimM.Observe(float64(n.Power))
+		case RoleAnalysis:
+			ip.powerAnaM.Observe(float64(n.Power))
+		default:
+			ip.hub.NodePower(n.Role.String(), float64(n.Power))
+		}
 	}
 	caps := ip.inner.Allocate(step, nodes)
 	if caps == nil {

@@ -245,6 +245,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	lastEnergy := make([]units.Joules, nTotal)
 	var carryOverhead units.Seconds
 
+	// Idle-trough handles resolved once per partition: the per-node
+	// observation inside the synchronization loop must not pay a family
+	// label lookup (and a Role→string conversion) per node per interval.
+	idleSimM := cfg.Telemetry.IdleWaitMetric(core.RoleSimulation.String())
+	idleAnaM := cfg.Telemetry.IdleWaitMetric(core.RoleAnalysis.String())
+
 	prevStep := 0
 	for syncIdx, iv := range schedule {
 		if err := ctx.Err(); err != nil {
@@ -314,7 +320,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			}
 			if wait := wall - busy[i]; wait > 0 {
 				exec := cl.Node(i).Idle(wait)
-				cfg.Telemetry.IdleWait(cl.Role(i).String(), float64(wait))
+				idleM := idleSimM
+				if cl.Role(i) == core.RoleAnalysis {
+					idleM = idleAnaM
+				}
+				if idleM != nil {
+					idleM.Observe(float64(wait))
+				}
 				if cfg.TraceSegments && (i == 0 || i == nSim) {
 					seg := Segment{Start: clock + busy[i], Duration: wait, Power: exec.Power}
 					if i == 0 {

@@ -98,6 +98,11 @@ type Config struct {
 	// granularity); for phase-resolved traces use the cosim driver's
 	// TraceSegments.
 	PowerSample units.Seconds
+	// NoAnaMemo disables the analysis-side memoization (see anatrace.go)
+	// and runs every analysis rank's kernels in place, as the seed did.
+	// Escape hatch for A/B validation; results are byte-identical either
+	// way (the golden test pins this).
+	NoAnaMemo bool
 	// Telemetry, when non-nil, receives metrics and structured events
 	// from every rank: RAPL cap writes and throttling, collective
 	// rendezvous waits (via the mpi runtime), synchronization barriers
@@ -246,6 +251,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		res.PowerTrace = trace.NewRecorder()
 	}
 	var mu sync.Mutex // guards res across rank goroutines
+	// Per-rank energies are summed in world-rank order after the job so
+	// TotalEnergy does not depend on which goroutine reaches the final
+	// mutex first (float addition order is part of the byte-identity
+	// contract the golden test pins).
+	rankEnergy := make([]units.Joules, nWorld)
 
 	err = mpi.RunContext(ctx, nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
 		isSim := r.WorldRank() < cfg.SimRanks
@@ -295,7 +305,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if units.Seconds(endClock) > res.MainLoopTime {
 			res.MainLoopTime = units.Seconds(endClock)
 		}
-		res.TotalEnergy += node.RAPL().Energy()
+		rankEnergy[r.WorldRank()] = node.RAPL().Energy()
 		if r.WorldRank() == 0 {
 			res.SyncLog = mgr.SyncLog()
 			res.OverheadTotal = mgr.OverheadTotal()
@@ -310,6 +320,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, e := range rankEnergy {
+		res.TotalEnergy += e
 	}
 	return res, nil
 }
@@ -347,6 +360,10 @@ type jobTables struct {
 	// trace is the job's mini-MD trajectory, integrated once and
 	// replayed by every simulation rank (see simTrace).
 	trace *simTrace
+	// ana is the analysis-side compute recording, integrated once per
+	// distinct source count and replayed by every analysis rank (see
+	// anaTrace); nil when Config.NoAnaMemo is set.
+	anaTr *anaTrace
 }
 
 func newJobTables(ctx context.Context, cfg *Config, syncSchedule []int) (*jobTables, error) {
@@ -378,6 +395,13 @@ func newJobTables(ctx context.Context, cfg *Config, syncSchedule []int) (*jobTab
 		return nil, err
 	}
 	t.trace = tr
+	if !cfg.NoAnaMemo {
+		at, err := recordAnaTrace(ctx, cfg, syncSchedule, t.sources, tr)
+		if err != nil {
+			return nil, err
+		}
+		t.anaTr = at
+	}
 	return t, nil
 }
 
@@ -417,9 +441,16 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 			mgr.PowerAlloc()
 
 			// Step 2: ship coordinates and velocities to the analysis
-			// partition.
+			// partition. With the analysis side memoized the receiver only
+			// reads the frame, so every rank ships the shared recorded
+			// snapshot instead of cloning ~frameBytes per send; the legacy
+			// in-place path consumes frames and keeps its own copies.
 			runWork(r, node, cfg, phases.sync, lammps.WorkCount{Ops: float64(tr.n) * 6, Bytes: tr.frameBytes})
-			r.Send(dst, tagFrame, st.cloneFrame(), tr.frameBytes)
+			if cfg.NoAnaMemo {
+				r.Send(dst, tagFrame, st.cloneFrame(), tr.frameBytes)
+			} else {
+				r.Send(dst, tagFrame, st.frame, tr.frameBytes)
+			}
 
 			// Step 3: rebuild a subset of data structures.
 			runWork(r, node, cfg, phases.rebuild, lammps.WorkCount{Ops: float64(tr.n) * 4})
@@ -453,29 +484,45 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 	mu.Unlock()
 }
 
-// runAnaRank is the per-synchronization loop of an analysis rank.
+// runAnaRank is the per-synchronization loop of an analysis rank. The
+// analysis kernels were integrated once per distinct source count by
+// recordAnaTrace; each rank replays its shape's recording (identical
+// work counts and result vectors on every rank of that shape) and
+// spends its time in the parts that do differ per rank: virtual-time
+// phases, power allocation, faults and communication. With
+// Config.NoAnaMemo the rank instead runs its own kernels in place, as
+// the seed did; the golden test pins both paths to identical bytes.
 func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
 	cfg *Config, tables *jobTables, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
 
-	// Instantiate this rank's analyses.
-	tasks := make([]analysis.Analysis, 0, len(cfg.Analyses))
-	for _, name := range cfg.Analyses {
-		a, err := analysis.New(name)
-		if err != nil {
-			panic(err)
+	at := tables.anaTr
+	// Legacy in-place path: instantiate this rank's own analyses.
+	var tasks []analysis.Analysis
+	if at == nil {
+		tasks = make([]analysis.Analysis, 0, len(cfg.Analyses))
+		for _, name := range cfg.Analyses {
+			a, err := analysis.New(name)
+			if err != nil {
+				panic(err)
+			}
+			tasks = append(tasks, a)
 		}
-		tasks = append(tasks, a)
 	}
 
 	// Which simulation ranks feed this analysis rank?
 	sources := tables.sources[r.WorldRank()-cfg.SimRanks]
 	phases := &tables.ana
+	var rec *anaRecording
+	if at != nil {
+		rec = at.recordings[len(sources)]
+	}
 
 	for si, step := range syncSchedule {
 		applyFaults(cl, r, si+1)
 		// Power allocation immediately before the synchronization.
 		mgr.PowerAlloc()
 
+		flat := 0
 		for _, src := range sources {
 			// Step 2 (receive side): the frame arrives; time spent
 			// blocked on the simulation is synchronization wait, idling
@@ -500,6 +547,23 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 			runWork(r, node, cfg, phases.neighbor, lammps.WorkCount{Ops: float64(len(frame.Pos)) * 2})
 
 			// Step 7: the analyses due at this step run in sequence.
+			if at != nil {
+				for _, ti := range at.due[si] {
+					spec := &at.specs[ti]
+					w := rec.work[si][flat]
+					flat++
+					nominal := units.Seconds(w.Ops*spec.prof.SecondsPerOp + float64(w.Bytes)*bytesSecPerByte)
+					exec := node.Run(machine.Phase{
+						Name:        spec.name,
+						Nominal:     nominal,
+						Demand:      spec.prof.Demand,
+						Saturation:  spec.prof.Saturation,
+						Sensitivity: spec.prof.Sensitivity,
+					}, cfg.Noise)
+					r.Elapse(exec.Duration)
+				}
+				continue
+			}
 			for _, t := range tasks {
 				if step%cfg.analysisInterval(t.Name()) != 0 {
 					continue
@@ -521,8 +585,14 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 
 	if anaComm.Rank() == 0 {
 		mu.Lock()
-		for _, t := range tasks {
-			res.AnalysisResults[t.Name()] = t.Result()
+		if at != nil {
+			for name, v := range rec.results {
+				res.AnalysisResults[name] = v
+			}
+		} else {
+			for _, t := range tasks {
+				res.AnalysisResults[t.Name()] = t.Result()
+			}
 		}
 		mu.Unlock()
 	}

@@ -156,6 +156,16 @@ func (rt *Runtime) doCancel(err error) {
 		if g := r.parked.Load(); g != nil {
 			g.release()
 		}
+		if g := r.condG.Load(); g != nil {
+			// The waiter publishes condG while holding g.mu and only
+			// then enqueues on the cond (Wait enqueues before releasing
+			// the lock), so taking the lock here orders this broadcast
+			// after the enqueue: either the waiter is woken, or its
+			// pre-wait flag recheck already saw cancelled.
+			g.mu.Lock()
+			g.cond.Broadcast()
+			g.mu.Unlock()
+		}
 	}
 	for _, mb := range rt.mail {
 		select {
@@ -242,6 +252,16 @@ type Rank struct {
 	// pointer is per-rank, so the two stores bracketing a park never
 	// contend.
 	parked atomic.Pointer[gate]
+
+	// condG publishes the group whose condition variable this rank is
+	// waiting on (the unsharded rendezvous path), so doCancel can
+	// broadcast it — the cond-path analogue of parked, keeping
+	// cancellation registry-free.
+	condG atomic.Pointer[group]
+
+	// lastSplit is the Comm this rank's most recent Split returned,
+	// reused when a repeat Split resolves to the same (cached) group.
+	lastSplit *Comm
 }
 
 // Run executes body on n concurrent ranks and blocks until all return.
@@ -515,7 +535,32 @@ type shardCounter struct {
 // shard gates in parallel, so neither the arrival CASes nor the wakeup
 // channel locks serialize 4096 ranks through one word.
 type group struct {
-	members []int // world ids, ordered by rank-in-group
+	// Unsharded groups (shardPending == nil) rendezvous under a plain
+	// mutex + condition variable with a generation counter: below the
+	// sharding threshold the wakeup fan-out fits one broadcast, and
+	// reusing the group as the publication site makes a
+	// small-communicator collective allocation-free (no per-generation
+	// state or gate). The running op/bytes/clock fold replaces the
+	// completer's scan over per-member arrays; inputs/floats stay
+	// per-slot because reduction order is part of the determinism
+	// contract. poisoned is sticky: a mismatched or panicking collective
+	// fails every later arrival too. These fields lead the struct so an
+	// arrival's whole critical section touches the cache lines the lock
+	// acquisition already pulled in.
+	mu           sync.Mutex
+	count        int
+	gen          uint64
+	condOp       string
+	condBytes    int
+	condClock    units.Seconds
+	cond         *sync.Cond
+	inputs       []any
+	floats       [][]float64
+	members      []int // world ids, ordered by rank-in-group
+	condRes      any
+	condFloats   []float64
+	condResClock units.Seconds
+	poisoned     string
 
 	// shardSize is the member count per shard (== len(members) when the
 	// group is too small to shard; shardPending is nil then and pending
@@ -525,8 +570,6 @@ type group struct {
 	shardPending []shardCounter
 
 	ops    []string
-	inputs []any
-	floats [][]float64
 	clocks []units.Seconds
 	bytes  []int
 
@@ -534,13 +577,26 @@ type group struct {
 	// previous generation stores it, before releasing that generation's
 	// gates; doCancel loads it to force the gates open.
 	cur atomic.Pointer[rendezvousState]
+
+	// splitPrev caches the previous Split's per-color results on this
+	// communicator. Drivers re-split the same world with the same
+	// color/key assignment once per job, so a repeat is the common case;
+	// when a color's sorted bucket matches the previous generation's,
+	// its group object is reused instead of rebuilt (identical members
+	// name the same logical communicator, and its generation counter
+	// serializes collectives exactly as a fresh group would). Written
+	// only by the completer, which runs exclusively.
+	splitPrev map[int]*splitColor
 }
 
 // shardSizeFor picks the arrival-tree fan-in for a k-member group:
-// roughly sqrt(k), rounded to a power of two. Below 64 members the extra
-// tree level costs more than the contention it removes.
+// roughly sqrt(k), rounded to a power of two. Below 2048 members the
+// extra tree level costs more than the wakeup fan-out it spreads — a
+// single root gate both arrives and releases faster (measured: the
+// sharded tree was 0.93–0.98x of the seed at 256–1024 ranks, the single
+// gate 1.2–1.3x) — so only the largest groups shard.
 func shardSizeFor(k int) int {
-	if k < 64 {
+	if k < 2048 {
 		return k
 	}
 	return 1 << ((bits.Len(uint(k-1)) + 1) / 2)
@@ -573,13 +629,13 @@ func newGroup(members []int) *group {
 	k := len(members)
 	g := &group{
 		members: members,
-		ops:     make([]string, k),
 		inputs:  make([]any, k),
 		floats:  make([][]float64, k),
-		clocks:  make([]units.Seconds, k),
-		bytes:   make([]int, k),
 	}
 	if size := shardSizeFor(k); size < k {
+		g.ops = make([]string, k)
+		g.clocks = make([]units.Seconds, k)
+		g.bytes = make([]int, k)
 		g.shardSize = size
 		ns := (k + size - 1) / size
 		g.shardPending = make([]shardCounter, ns)
@@ -587,11 +643,11 @@ func newGroup(members []int) *group {
 			g.shardPending[s].n.Store(int64(g.shardLen(s)))
 		}
 		g.pending.Store(int64(ns))
+		g.cur.Store(g.newState())
 	} else {
 		g.shardSize = k
-		g.pending.Store(int64(k))
+		g.cond = sync.NewCond(&g.mu)
 	}
-	g.cur.Store(g.newState())
 	return g
 }
 
@@ -631,34 +687,151 @@ func (c *Comm) arrive(opName string, bytes int, input any, fvals []float64,
 	g.inputs[me] = input
 	g.floats[me] = fvals
 
-	if g.shardPending == nil {
-		if g.pending.Add(-1) > 0 {
-			c.rank.park(&st.root, st)
-		} else {
-			c.complete(st, reduce, freduce)
-		}
+	s := me / g.shardSize
+	if g.shardPending[s].n.Add(-1) > 0 {
+		c.rank.park(&st.shards[s], st)
+	} else if g.pending.Add(-1) > 0 {
+		// Shard leader: park at the root, then re-arm this shard's
+		// counter and fan the release out through its own gate, so the
+		// wakeup storm is spread over ~sqrt(k) channel locks instead of
+		// serializing every waiter through one.
+		c.rank.park(&st.root, st)
+		g.shardPending[s].n.Store(int64(g.shardLen(s)))
+		st.shards[s].release()
 	} else {
-		s := me / g.shardSize
-		if g.shardPending[s].n.Add(-1) > 0 {
-			c.rank.park(&st.shards[s], st)
-		} else if g.pending.Add(-1) > 0 {
-			// Shard leader: park at the root, then re-arm this shard's
-			// counter and fan the release out through its own gate, so the
-			// wakeup storm is spread over ~sqrt(k) channel locks instead of
-			// serializing every waiter through one.
-			c.rank.park(&st.root, st)
-			g.shardPending[s].n.Store(int64(g.shardLen(s)))
-			st.shards[s].release()
-		} else {
-			c.complete(st, reduce, freduce)
-			g.shardPending[s].n.Store(int64(g.shardLen(s)))
-			st.shards[s].release()
-		}
+		c.complete(st, reduce, freduce)
+		g.shardPending[s].n.Store(int64(g.shardLen(s)))
+		st.shards[s].release()
 	}
 	if st.poisoned != "" {
 		panic(st.poisoned)
 	}
 	return st
+}
+
+// arriveCond is the unsharded rendezvous: deposit under the group lock,
+// fold the op/bytes/clock on the way in, and either complete (last
+// arriver) or wait on the condition variable for the generation to
+// advance. It also applies the merged clock and reports the rendezvous
+// wait (the cond path's finish), so a collective costs one call frame.
+// The returned result and floats are read out under the lock and stay
+// valid after it is released, because the next generation cannot
+// complete until this rank arrives again; a collective on a small
+// communicator therefore allocates nothing per generation.
+func (c *Comm) arriveCond(opName string, bytes int, input any, fvals []float64,
+	reduce func([]any) any, freduce func([][]float64) []float64) (any, []float64) {
+
+	g := c.group
+	r := c.rank
+	rt := r.rt
+	if rt.isCancelled() {
+		panic(errCanceled)
+	}
+	entryClock := r.clock
+	k := len(g.members)
+	g.mu.Lock()
+	if g.poisoned != "" {
+		msg := g.poisoned
+		g.mu.Unlock()
+		panic(msg)
+	}
+	if g.count == 0 {
+		g.condOp = opName
+		g.condBytes = bytes
+		g.condClock = r.clock
+	} else {
+		if g.condOp != opName {
+			msg := fmt.Sprintf("mpi: collective mismatch on communicator: %q vs %q", g.condOp, opName)
+			g.poisoned = msg
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			panic(msg)
+		}
+		if bytes > g.condBytes {
+			g.condBytes = bytes
+		}
+		if r.clock > g.condClock {
+			g.condClock = r.clock
+		}
+	}
+	if freduce != nil {
+		g.floats[c.myRank] = fvals
+	} else {
+		g.inputs[c.myRank] = input
+	}
+	g.count++
+	if g.count == k {
+		g.condResClock = g.condClock + rt.cost.CollectiveCost(k, g.condBytes)
+		// A panicking reduce (malformed collective arguments) must poison
+		// the group so waiters abort instead of hanging.
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					g.poisoned = fmt.Sprint(rec)
+				}
+			}()
+			if freduce != nil {
+				g.condFloats = freduce(g.floats[:k])
+			} else {
+				g.condRes = reduce(g.inputs[:k])
+			}
+		}()
+		g.count = 0
+		g.gen++
+		res, fl, clk := g.condRes, g.condFloats, g.condResClock
+		poison := g.poisoned
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		if poison != "" {
+			panic(poison)
+		}
+		c.condFinish(opName, entryClock, clk)
+		return res, fl
+	}
+	myGen := g.gen
+	// Publish the wait target for doCancel, then recheck the flag: the
+	// store and the load are both sequentially consistent, so either the
+	// cancel walk sees the pointer (and its broadcast, taken under g.mu,
+	// lands after Wait has enqueued this goroutine), or this recheck
+	// sees the flag and unwinds instead of waiting. The pointer is left
+	// published after the wait — a stale broadcast wakes nobody — so the
+	// common case of re-waiting on the same group skips both stores.
+	if r.condG.Load() != g {
+		r.condG.Store(g)
+	}
+	for g.gen == myGen && g.poisoned == "" && !rt.isCancelled() {
+		g.cond.Wait()
+	}
+	if g.poisoned != "" {
+		msg := g.poisoned
+		g.mu.Unlock()
+		panic(msg)
+	}
+	if g.gen == myGen {
+		// Cancelled before the generation completed.
+		g.mu.Unlock()
+		panic(errCanceled)
+	}
+	res, fl, clk := g.condRes, g.condFloats, g.condResClock
+	g.mu.Unlock()
+	c.condFinish(opName, entryClock, clk)
+	return res, fl
+}
+
+// condFinish applies a completed cond-path collective's merged clock and
+// reports the rendezvous wait, inline-cheap when telemetry is off.
+func (c *Comm) condFinish(opName string, entryClock, resClock units.Seconds) {
+	r := c.rank
+	if resClock > r.clock {
+		r.clock = resClock
+	}
+	if r.rt.tel != nil {
+		if wait := r.clock - entryClock; wait > 0 {
+			if m := r.rt.waitMetric(opName); m != nil {
+				m.Observe(float64(wait))
+			}
+		}
+	}
 }
 
 // park publishes the gate this rank is about to block on, rechecks the
@@ -741,12 +914,17 @@ func (c *Comm) complete(st *rendezvousState, reduce func([]any) any, freduce fun
 
 // finish applies a completed collective's clock to the rank and reports
 // the rendezvous wait, returning when the rank owns the merged clock.
-func (c *Comm) finish(opName string, st *rendezvousState) {
-	arrival := c.rank.clock
-	c.rank.AdvanceTo(st.resClock)
-	if wait := c.rank.clock - arrival; wait > 0 {
-		if m := c.rank.rt.waitMetric(opName); m != nil {
-			m.Observe(float64(wait))
+func (c *Comm) finish(opName string, resClock units.Seconds) {
+	r := c.rank
+	arrival := r.clock
+	if resClock > r.clock {
+		r.clock = resClock
+	}
+	if r.rt.tel != nil {
+		if wait := r.clock - arrival; wait > 0 {
+			if m := r.rt.waitMetric(opName); m != nil {
+				m.Observe(float64(wait))
+			}
 		}
 	}
 }
@@ -763,8 +941,12 @@ func (c *Comm) rendezvous(opName string, input any, bytes int, reduce func(input
 		}
 		return reduce([]any{input})
 	}
+	if c.group.shardPending == nil {
+		res, _ := c.arriveCond(opName, bytes, input, nil, reduce, nil)
+		return res
+	}
 	st := c.arrive(opName, bytes, input, nil, reduce, nil)
-	c.finish(opName, st)
+	c.finish(opName, st.resClock)
 	return st.result
 }
 
@@ -780,9 +962,13 @@ func (c *Comm) rendezvousFloats(opName string, vals []float64, freduce func([][]
 		}
 		return freduce([][]float64{vals})
 	}
+	if c.group.shardPending == nil {
+		_, fl := c.arriveCond(opName, 8*len(vals), nil, vals, nil, freduce)
+		return append([]float64(nil), fl...)
+	}
 	st := c.arrive(opName, 8*len(vals), nil, vals, nil, freduce)
 	out := append([]float64(nil), st.floats...)
-	c.finish(opName, st)
+	c.finish(opName, st.resClock)
 	return out
 }
 
@@ -893,50 +1079,175 @@ type splitKey struct {
 	color, key, world, rank int
 }
 
+// splitSerialMax bounds the communicator size for which the completer
+// builds every per-color group itself inside the reduce. Above it the
+// serial work is deferred: the completer only buckets contributions by
+// color, and each color's group is built after the wakeup by the first
+// of its members to claim it (see splitColor).
+const splitSerialMax = 64
+
+// splitColor is one color's deferred group construction. The reduce
+// buckets the contributions; after the rendezvous releases, every
+// member of the color races a claim, the winner sorts the bucket by
+// (key, old rank), builds the group and opens the gate, and the rest
+// wait on it. The builder never blocks between claim and release, so
+// waiters cannot hang even when the run is being cancelled.
+type splitColor struct {
+	sks     []splitKey // sorted by (key, rank) once built
+	claimed atomic.Bool
+	done    gate
+	group   *group
+	// prev is this color's result from the parent's previous Split, if
+	// any; the builder reuses prev.group when the sorted buckets match,
+	// then clears the pointer so generations do not chain.
+	prev *splitColor
+}
+
+// finishSplitColor resolves a claimed color's group: sort the bucket,
+// reuse the previous generation's group when the membership is
+// unchanged, build otherwise.
+func finishSplitColor(sc *splitColor) {
+	sortSplitKeys(sc.sks)
+	if p := sc.prev; p != nil && splitKeysEqual(sc.sks, p.sks) {
+		sc.group = p.group
+	} else {
+		sc.group = buildSplitGroup(sc.sks)
+	}
+	sc.prev = nil
+}
+
+// splitKeysEqual reports whether two sorted color buckets carry the
+// same (color, key, world, rank) contributions.
+func splitKeysEqual(a, b []splitKey) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortSplitKeys orders one color's contributions by (key, old rank),
+// mirroring MPI_Comm_split's rank ordering.
+func sortSplitKeys(sks []splitKey) {
+	sort.Slice(sks, func(i, j int) bool {
+		if sks[i].key != sks[j].key {
+			return sks[i].key < sks[j].key
+		}
+		return sks[i].rank < sks[j].rank
+	})
+}
+
+// buildSplitGroup turns a sorted color bucket into a group.
+func buildSplitGroup(sks []splitKey) *group {
+	members := make([]int, len(sks))
+	for i, sk := range sks {
+		members[i] = sk.world
+	}
+	return newGroup(members)
+}
+
+// splitRankIn locates (key, oldRank) in a sorted color bucket — the
+// caller's rank in the new communicator — in O(log k) instead of the
+// former linear scan over the member array (which summed to O(k²)
+// across a large communicator's ranks).
+func splitRankIn(sks []splitKey, key, oldRank int) int {
+	i := sort.Search(len(sks), func(i int) bool {
+		if sks[i].key != key {
+			return sks[i].key > key
+		}
+		return sks[i].rank >= oldRank
+	})
+	if i == len(sks) || sks[i].key != key || sks[i].rank != oldRank {
+		panic("mpi: split bookkeeping error")
+	}
+	return i
+}
+
 // Split partitions the communicator by color, ordering ranks within each
 // new communicator by (key, old rank), mirroring MPI_Comm_split. Ranks
 // passing a negative color receive nil (MPI_UNDEFINED).
+//
+// Small communicators use a serial fast path (the completer builds the
+// handful of groups inside the reduce). At scale the completer only
+// buckets by color — O(k) — and the per-color sort and group
+// construction move onto the arriving ranks themselves, one builder per
+// color, so the work the last arriver serializes no longer grows with
+// the number and size of the new communicators.
 func (c *Comm) Split(color, key int) *Comm {
-	res := c.rendezvous("split", splitKey{color: color, key: key, world: c.rank.id, rank: c.myRank}, 16,
-		func(inputs []any) any {
+	in := splitKey{color: color, key: key, world: c.rank.id, rank: c.myRank}
+	g := c.group
+	if len(g.members) <= splitSerialMax {
+		res := c.rendezvous("split", in, 16, func(inputs []any) any {
 			byColor := make(map[int][]splitKey)
-			for _, in := range inputs {
-				sk := in.(splitKey)
+			for _, bx := range inputs {
+				sk := bx.(splitKey)
 				if sk.color < 0 {
 					continue
 				}
 				byColor[sk.color] = append(byColor[sk.color], sk)
 			}
-			groups := make(map[int]*group)
+			colors := make(map[int]*splitColor, len(byColor))
 			for color, sks := range byColor {
-				sort.Slice(sks, func(i, j int) bool {
-					if sks[i].key != sks[j].key {
-						return sks[i].key < sks[j].key
-					}
-					return sks[i].rank < sks[j].rank
-				})
-				members := make([]int, len(sks))
-				for i, sk := range sks {
-					members[i] = sk.world
-				}
-				groups[color] = newGroup(members)
+				sc := &splitColor{sks: sks, prev: g.splitPrev[color]}
+				finishSplitColor(sc)
+				colors[color] = sc
 			}
-			return groups
+			g.splitPrev = colors
+			return colors
 		})
+		if color < 0 {
+			return nil
+		}
+		sc := res.(map[int]*splitColor)[color]
+		return c.splitComm(sc, key)
+	}
+
+	res := c.rendezvous("split", in, 16, func(inputs []any) any {
+		prev := g.splitPrev
+		colors := make(map[int]*splitColor)
+		for _, bx := range inputs {
+			sk := bx.(splitKey)
+			if sk.color < 0 {
+				continue
+			}
+			sc := colors[sk.color]
+			if sc == nil {
+				sc = &splitColor{done: newGate(), prev: prev[sk.color]}
+				if sc.prev != nil {
+					sc.sks = make([]splitKey, 0, len(sc.prev.sks))
+				}
+				colors[sk.color] = sc
+			}
+			sc.sks = append(sc.sks, sk)
+		}
+		g.splitPrev = colors
+		return colors
+	})
 	if color < 0 {
 		return nil
 	}
-	groups := res.(map[int]*group)
-	g := groups[color]
-	myRank := -1
-	for i, w := range g.members {
-		if w == c.rank.id {
-			myRank = i
-			break
-		}
+	sc := res.(map[int]*splitColor)[color]
+	if sc.claimed.CompareAndSwap(false, true) {
+		finishSplitColor(sc)
+		sc.done.release()
+	} else {
+		<-sc.done.ch
 	}
-	if myRank < 0 {
-		panic("mpi: split bookkeeping error")
+	return c.splitComm(sc, key)
+}
+
+// splitComm wraps a resolved color in a Comm for this rank, reusing the
+// rank's previously returned handle when the group was reused (the two
+// are indistinguishable: same group, same rank in it).
+func (c *Comm) splitComm(sc *splitColor, key int) *Comm {
+	if lc := c.rank.lastSplit; lc != nil && lc.group == sc.group {
+		return lc
 	}
-	return &Comm{rank: c.rank, group: g, myRank: myRank}
+	out := &Comm{rank: c.rank, group: sc.group, myRank: splitRankIn(sc.sks, key, c.myRank)}
+	c.rank.lastSplit = out
+	return out
 }

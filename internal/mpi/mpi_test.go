@@ -250,6 +250,50 @@ func TestSplitKeyOrdering(t *testing.T) {
 	})
 }
 
+// TestSplitRepeatReusesComm pins the consecutive-split cache: an
+// identical re-split returns the very same communicator handle, while a
+// changed color assignment (cache miss) builds a correct fresh one and
+// the original pattern can still come back afterwards. Runs on both
+// sides of splitSerialMax to cover the serial and amortized paths.
+func TestSplitRepeatReusesComm(t *testing.T) {
+	for _, n := range []int{8, 96} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			run(t, n, func(r *Rank) {
+				halves := r.World().Split(r.WorldRank()%2, r.WorldRank())
+				again := r.World().Split(r.WorldRank()%2, r.WorldRank())
+				if again != halves {
+					panic("identical re-split did not reuse the cached communicator")
+				}
+				thirds := r.World().Split(r.WorldRank()%3, r.WorldRank())
+				if thirds == halves {
+					panic("changed split wrongly hit the cache")
+				}
+				wantThird := n/3 + boolToInt(r.WorldRank()%3 < n%3)
+				if thirds.Size() != wantThird {
+					panic(fmt.Sprintf("thirds size = %d, want %d", thirds.Size(), wantThird))
+				}
+				if sum := thirds.AllreduceSum([]float64{1}); sum[0] != float64(wantThird) {
+					panic("collective on cache-miss communicator wrong")
+				}
+				back := r.World().Split(r.WorldRank()%2, r.WorldRank())
+				if back.Size() != n/2 || back.Rank() != halves.Rank() {
+					panic("re-split after an intervening pattern is wrong")
+				}
+				if sum := back.AllreduceSum([]float64{1}); sum[0] != float64(n/2) {
+					panic("collective on re-split communicator wrong")
+				}
+			})
+		})
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 func TestCollectiveMismatchPanics(t *testing.T) {
 	err := Run(2, DefaultCost(), func(r *Rank) {
 		if r.WorldRank() == 0 {

@@ -92,12 +92,13 @@ type Domain struct {
 
 	capWrites int
 
-	// Telemetry hooks (nil-safe, attached via SetTelemetry).
-	tel         *telemetry.Hub
-	telName     string
-	telEventful bool
-	throttled   bool
-	violating   bool
+	// Telemetry hooks (nil-safe, attached via SetTelemetry). site holds
+	// the node's pre-resolved metric children so the per-write hot path
+	// never pays a family label lookup.
+	site      *telemetry.CapSite
+	telName   string
+	throttled bool
+	violating bool
 }
 
 type sample struct {
@@ -136,9 +137,8 @@ func (d *Domain) Config() Config { return d.cfg }
 // event stream to one representative node per partition. A nil hub
 // detaches.
 func (d *Domain) SetTelemetry(h *telemetry.Hub, name string, eventful bool) {
-	d.tel = h
+	d.site = h.CapSiteFor(name, eventful)
 	d.telName = name
-	d.telEventful = eventful
 }
 
 // Now returns the domain's current virtual time.
@@ -161,7 +161,7 @@ func (d *Domain) SetLongCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency})
-	d.tel.CapWritten(float64(d.now), d.telName, float64(w), false, d.telEventful)
+	d.site.CapWritten(float64(d.now), d.telName, float64(w), false)
 }
 
 // SetShortCap requests a new short-term power cap with the same clamping
@@ -172,7 +172,7 @@ func (d *Domain) SetShortCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency, shortCap: true})
-	d.tel.CapWritten(float64(d.now), d.telName, float64(w), true, d.telEventful)
+	d.site.CapWritten(float64(d.now), d.telName, float64(w), true)
 }
 
 // LongCap returns the currently effective long-term cap (0 if uncapped).
@@ -221,13 +221,13 @@ func (d *Domain) effectiveTarget() units.Watts {
 // noteThrottle reports engage transitions of demand clipping to the
 // telemetry hub (disengagement resets the state silently).
 func (d *Domain) noteThrottle(demand, allowed units.Watts) {
-	if d.tel == nil {
+	if d.site == nil {
 		return
 	}
 	if allowed < demand {
 		if !d.throttled {
 			d.throttled = true
-			d.tel.ThrottleEngaged(float64(d.now), d.telName, float64(demand), float64(allowed), d.telEventful)
+			d.site.ThrottleEngaged(float64(d.now), d.telName, float64(demand), float64(allowed))
 		}
 	} else {
 		d.throttled = false
@@ -357,13 +357,13 @@ func (d *Domain) Advance(dt units.Seconds, p units.Watts) {
 	// Enforcement-window violation telemetry: the window average rising
 	// above the effective cap target (beyond a small tolerance) is
 	// reported once per excursion.
-	if d.tel != nil {
+	if d.site != nil {
 		if target := d.effectiveTarget(); target > 0 {
 			const tolerance = 1.02
 			if avg := d.windowAvg(); float64(avg) > float64(target)*tolerance {
 				if !d.violating {
 					d.violating = true
-					d.tel.BudgetViolation(float64(d.now), d.telName, float64(avg), float64(target), d.telEventful)
+					d.site.BudgetViolation(float64(d.now), d.telName, float64(avg), float64(target))
 				}
 			} else {
 				d.violating = false

@@ -30,10 +30,15 @@ type Options struct {
 type Hub struct {
 	reg *Registry
 
-	mu      sync.Mutex
-	ring    []Event
-	next    int
-	full    bool
+	// The event ring is lock-free on the write side: an emitter claims a
+	// slot with one fetch-add and publishes the event with one atomic
+	// pointer store, so concurrent ranks never serialize through a mutex
+	// just to record an event. Only the optional sink (an ordered JSONL
+	// stream) still takes the mutex, and only when configured.
+	ring    []atomic.Pointer[Event]
+	ringIdx atomic.Uint64 // total events ever claimed
+
+	mu      sync.Mutex // guards sink and sinkErr
 	sink    io.Writer
 	sinkErr error
 
@@ -72,6 +77,20 @@ type Hub struct {
 	syncsM      *Metric
 	wallHistM   *Metric
 	slackGaugeM *Metric
+	droppedM    *Metric
+
+	// kindM caches the per-kind event counters for every known event
+	// type (read-only after construction), so Emit skips the family's
+	// label lookup on each event.
+	kindM map[string]*Metric
+}
+
+// eventKinds lists every event type Decode understands; New resolves a
+// cached counter child per kind.
+var eventKinds = []string{
+	"CapWritten", "PolicyDecision", "SyncBarrier", "BudgetViolation",
+	"ThrottleEngaged", "BudgetShare", "CampaignCell", "NodeKilled",
+	"NodeDegraded", "NodeRecovered",
 }
 
 // New returns a Hub with the standard metric families registered.
@@ -82,7 +101,7 @@ func New(o Options) *Hub {
 	reg := NewRegistry()
 	h := &Hub{
 		reg:  reg,
-		ring: make([]Event, o.RingSize),
+		ring: make([]atomic.Pointer[Event], o.RingSize),
 		sink: o.Sink,
 
 		capWrites:    reg.Counter("seesaw_cap_writes_total", "RAPL cap write operations", "node"),
@@ -114,6 +133,11 @@ func New(o Options) *Hub {
 	h.syncsM = h.syncs.With()
 	h.wallHistM = h.wallHist.With()
 	h.slackGaugeM = h.slackGauge.With()
+	h.droppedM = h.droppedTotal.With()
+	h.kindM = make(map[string]*Metric, len(eventKinds))
+	for _, k := range eventKinds {
+		h.kindM[k] = h.eventsTotal.With(k)
+	}
 	return h
 }
 
@@ -137,6 +161,84 @@ func (h *Hub) IdleWaitMetric(partition string) *Metric {
 	return h.idleHist.With(partition)
 }
 
+// NodePowerMetric returns the per-node power histogram series for one
+// partition, for callers (the instrumented power probe) that cache the
+// handle across intervals. Nil on a nil hub.
+func (h *Hub) NodePowerMetric(partition string) *Metric {
+	if h == nil {
+		return nil
+	}
+	return h.powerHist.With(partition)
+}
+
+// CapSite bundles the resolved per-node children of the RAPL families —
+// cap writes, cap gauge, throttles, violations — so a domain resolves
+// its labels once at attach time and the per-write hot path never pays
+// a family label lookup. A nil *CapSite no-ops every method.
+type CapSite struct {
+	hub        *Hub
+	writes     *Metric
+	gauge      *Metric
+	throttles  *Metric
+	violations *Metric
+	eventful   bool
+}
+
+// CapSiteFor resolves one node's RAPL telemetry children. Nil on a nil
+// hub.
+func (h *Hub) CapSiteFor(node string, eventful bool) *CapSite {
+	if h == nil {
+		return nil
+	}
+	return &CapSite{
+		hub:        h,
+		writes:     h.capWrites.With(node),
+		gauge:      h.capGauge.With(node),
+		throttles:  h.throttles.With(node),
+		violations: h.violations.With(node),
+		eventful:   eventful,
+	}
+}
+
+// CapWritten reports a RAPL cap write through the site's cached
+// children; see Hub.CapWritten.
+func (s *CapSite) CapWritten(t float64, node string, capW float64, short bool) {
+	if s == nil {
+		return
+	}
+	s.writes.Inc()
+	if !short {
+		s.gauge.Set(capW)
+	}
+	if s.eventful {
+		s.hub.Emit(CapWritten{T: t, Node: node, CapW: capW, Short: short})
+	}
+}
+
+// ThrottleEngaged reports a throttle engagement through the site's
+// cached children; see Hub.ThrottleEngaged.
+func (s *CapSite) ThrottleEngaged(t float64, node string, demandW, allowedW float64) {
+	if s == nil {
+		return
+	}
+	s.throttles.Inc()
+	if s.eventful {
+		s.hub.Emit(ThrottleEngaged{T: t, Node: node, DemandW: demandW, AllowedW: allowedW})
+	}
+}
+
+// BudgetViolation reports an over-limit observation through the site's
+// cached children; see Hub.BudgetViolation.
+func (s *CapSite) BudgetViolation(t float64, node string, observedW, limitW float64) {
+	if s == nil {
+		return
+	}
+	s.violations.Inc()
+	if s.eventful {
+		s.hub.Emit(BudgetViolation{T: t, Node: node, ObservedW: observedW, LimitW: limitW})
+	}
+}
+
 // Registry returns the hub's metric registry (nil for a nil hub).
 func (h *Hub) Registry() *Registry {
 	if h == nil {
@@ -146,46 +248,59 @@ func (h *Hub) Registry() *Registry {
 }
 
 // Emit records a structured event: into the ring, the sink (as JSONL)
-// and the per-kind counter.
+// and the per-kind counter. The counter child is pre-resolved and the
+// ring write is one fetch-add plus one pointer store, so emitters never
+// contend on a lock unless a sink is configured.
 func (h *Hub) Emit(e Event) {
 	if h == nil {
 		return
 	}
-	h.eventsTotal.With(e.Kind()).Inc()
-	h.mu.Lock()
-	h.ring[h.next] = e
-	h.next++
-	if h.next == len(h.ring) {
-		h.next = 0
-		h.full = true
+	if m := h.kindM[e.Kind()]; m != nil {
+		m.Inc()
+	} else {
+		h.eventsTotal.With(e.Kind()).Inc()
 	}
-	if h.sink != nil && h.sinkErr == nil {
-		line, err := Encode(e)
-		if err == nil {
-			line = append(line, '\n')
-			_, err = h.sink.Write(line)
+	idx := h.ringIdx.Add(1) - 1
+	h.ring[idx%uint64(len(h.ring))].Store(&e)
+	if h.sink != nil {
+		h.mu.Lock()
+		if h.sinkErr == nil {
+			line, err := Encode(e)
+			if err == nil {
+				line = append(line, '\n')
+				_, err = h.sink.Write(line)
+			}
+			if err != nil {
+				h.sinkErr = err
+				h.dropped.Add(1)
+				h.droppedM.Inc()
+			}
 		}
-		if err != nil {
-			h.sinkErr = err
-			h.dropped.Add(1)
-			h.droppedTotal.With().Inc()
-		}
+		h.mu.Unlock()
 	}
-	h.mu.Unlock()
 }
 
-// Events returns the ring's contents, oldest first.
+// Events returns the ring's contents, oldest first (by slot-claim
+// order). An emitter that has claimed a slot but not yet published into
+// it leaves the slot empty (skipped) or holding the previous lap's
+// event, so a snapshot taken mid-emission may be short or slightly
+// stale; once emitters quiesce the snapshot is exact.
 func (h *Hub) Events() []Event {
 	if h == nil {
 		return nil
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	var out []Event
-	if h.full {
-		out = append(out, h.ring[h.next:]...)
+	total := h.ringIdx.Load()
+	n := uint64(len(h.ring))
+	start := uint64(0)
+	if total > n {
+		start = total - n
 	}
-	out = append(out, h.ring[:h.next]...)
+	out := make([]Event, 0, total-start)
+	for i := start; i < total; i++ {
+		if p := h.ring[i%n].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
 	return out
 }
 

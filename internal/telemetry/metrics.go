@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Kind distinguishes the metric families a Registry can hold.
@@ -75,16 +77,85 @@ type Family struct {
 	corder   []string
 }
 
-// Metric is one (family, label values) series.
+// maxStripes caps the per-metric stripe fan-out.
+const maxStripes = 64
+
+// stripeCount picks the stripe fan-out for newly created metric
+// children from the current GOMAXPROCS: a single cell at GOMAXPROCS=1
+// (bitwise the pre-striping behaviour, zero extra cost), otherwise the
+// next power of two, capped at maxStripes. Evaluated at child creation
+// so a Hub built inside a `go test -cpu 1,4,8` run adopts that run's
+// parallelism.
+func stripeCount() int {
+	p := runtime.GOMAXPROCS(0)
+	if p <= 1 {
+		return 1
+	}
+	n := 1
+	for n < p {
+		n <<= 1
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	return n
+}
+
+// cell is one padded stripe of a counter/gauge: the padding keeps
+// adjacent stripes on distinct cache lines so concurrent writers don't
+// bounce one line between cores.
+type cell struct {
+	bits atomic.Uint64 // float64 bits
+	_    [56]byte
+}
+
+// histShard is one stripe of a histogram; padded like cell.
+type histShard struct {
+	counts  []atomic.Uint64 // len(buckets)+1, last is +Inf
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+	_       [24]byte
+}
+
+// stripeHint hashes the caller's goroutine stack address into a stripe
+// preference. Goroutine stacks live in distinct allocations, so
+// goroutines spread across stripes and a goroutine keeps hitting the
+// same stripe (no cross-core line bouncing), without reaching into
+// runtime internals for a P or goroutine id.
+func stripeHint() uint64 {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b))) >> 6
+	h *= 0x9e3779b97f4a7c15
+	return h >> 32
+}
+
+// Metric is one (family, label values) series. Writes go to one of a
+// fixed set of padded stripes (one per GOMAXPROCS at creation, a single
+// cell under GOMAXPROCS=1); reads aggregate over the stripes at scrape
+// or snapshot time, so the hot path never shares a contended cache
+// line.
 type Metric struct {
 	fam       *Family
 	labelVals []string
 
-	bits atomic.Uint64 // counter/gauge value as float64 bits
+	cells  []cell      // counter/gauge stripes
+	shards []histShard // histogram stripes
+}
 
-	counts  []atomic.Uint64 // histogram: len(buckets)+1, last is +Inf
-	sumBits atomic.Uint64
-	count   atomic.Uint64
+// cellFor returns the caller's counter/gauge stripe.
+func (m *Metric) cellFor() *cell {
+	if len(m.cells) == 1 {
+		return &m.cells[0]
+	}
+	return &m.cells[stripeHint()&uint64(len(m.cells)-1)]
+}
+
+// shardFor returns the caller's histogram stripe.
+func (m *Metric) shardFor() *histShard {
+	if len(m.shards) == 1 {
+		return &m.shards[0]
+	}
+	return &m.shards[stripeHint()&uint64(len(m.shards)-1)]
 }
 
 func (r *Registry) family(name, help string, kind Kind, buckets []float64, labelNames []string) *Family {
@@ -156,8 +227,14 @@ func (f *Family) With(labelValues ...string) *Metric {
 		return m
 	}
 	m = &Metric{fam: f, labelVals: append([]string(nil), labelValues...)}
+	n := stripeCount()
 	if f.kind == KindHistogram {
-		m.counts = make([]atomic.Uint64, len(f.buckets)+1)
+		m.shards = make([]histShard, n)
+		for i := range m.shards {
+			m.shards[i].counts = make([]atomic.Uint64, len(f.buckets)+1)
+		}
+	} else {
+		m.cells = make([]cell, n)
 	}
 	f.children[key] = m
 	f.corder = append(f.corder, key)
@@ -185,28 +262,40 @@ func (m *Metric) Add(v float64) {
 		if v < 0 {
 			panic("telemetry: counter decrease")
 		}
-		addBits(&m.bits, v)
+		addBits(&m.cellFor().bits, v)
 	case KindGauge:
-		addBits(&m.bits, v)
+		addBits(&m.cellFor().bits, v)
 	default:
 		panic("telemetry: Add on histogram; use Observe")
 	}
 }
 
-// Set sets a gauge's value.
+// Set sets a gauge's value: the value lands in stripe zero and the
+// other stripes are cleared, so a subsequent Value returns v.
+// Concurrent Sets are last-write-wins per stripe; mixing Set with
+// concurrent Add may lose an Add that lands on a stripe mid-clear
+// (gauges in this codebase are either Set- or Add-shaped, never both).
 func (m *Metric) Set(v float64) {
 	if m.fam.kind != KindGauge {
 		panic("telemetry: Set on non-gauge")
 	}
-	m.bits.Store(math.Float64bits(v))
+	m.cells[0].bits.Store(math.Float64bits(v))
+	for i := 1; i < len(m.cells); i++ {
+		m.cells[i].bits.Store(0)
+	}
 }
 
-// Value returns a counter's or gauge's current value.
+// Value returns a counter's or gauge's current value (the sum over its
+// stripes).
 func (m *Metric) Value() float64 {
 	if m.fam.kind == KindHistogram {
 		panic("telemetry: Value on histogram")
 	}
-	return math.Float64frombits(m.bits.Load())
+	v := 0.0
+	for i := range m.cells {
+		v += math.Float64frombits(m.cells[i].bits.Load())
+	}
+	return v
 }
 
 // Observe records v into a histogram: v lands in the first bucket whose
@@ -216,9 +305,10 @@ func (m *Metric) Observe(v float64) {
 		panic("telemetry: Observe on non-histogram")
 	}
 	i := sort.SearchFloat64s(m.fam.buckets, v)
-	m.counts[i].Add(1)
-	addBits(&m.sumBits, v)
-	m.count.Add(1)
+	sh := m.shardFor()
+	sh.counts[i].Add(1)
+	addBits(&sh.sumBits, v)
+	sh.count.Add(1)
 }
 
 // Count returns a histogram's total observation count.
@@ -226,7 +316,11 @@ func (m *Metric) Count() uint64 {
 	if m.fam.kind != KindHistogram {
 		panic("telemetry: Count on non-histogram")
 	}
-	return m.count.Load()
+	var n uint64
+	for i := range m.shards {
+		n += m.shards[i].count.Load()
+	}
+	return n
 }
 
 // Sum returns a histogram's sum of observations.
@@ -234,7 +328,11 @@ func (m *Metric) Sum() float64 {
 	if m.fam.kind != KindHistogram {
 		panic("telemetry: Sum on non-histogram")
 	}
-	return math.Float64frombits(m.sumBits.Load())
+	v := 0.0
+	for i := range m.shards {
+		v += math.Float64frombits(m.shards[i].sumBits.Load())
+	}
+	return v
 }
 
 // BucketCounts returns a histogram's per-bucket (non-cumulative) counts;
@@ -243,9 +341,11 @@ func (m *Metric) BucketCounts() []uint64 {
 	if m.fam.kind != KindHistogram {
 		panic("telemetry: BucketCounts on non-histogram")
 	}
-	out := make([]uint64, len(m.counts))
-	for i := range m.counts {
-		out[i] = m.counts[i].Load()
+	out := make([]uint64, len(m.fam.buckets)+1)
+	for s := range m.shards {
+		for i := range m.shards[s].counts {
+			out[i] += m.shards[s].counts[i].Load()
+		}
 	}
 	return out
 }
@@ -357,16 +457,17 @@ func writeChild(w io.Writer, f *Family, m *Metric) error {
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelPairs(f.labelNames, m.labelVals), formatFloat(m.Value()))
 		return err
 	case KindHistogram:
+		counts := m.BucketCounts()
 		var cum uint64
 		for i, bound := range f.buckets {
-			cum += m.counts[i].Load()
+			cum += counts[i]
 			le := formatFloat(bound)
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 				labelPairs(f.labelNames, m.labelVals, "le", le), cum); err != nil {
 				return err
 			}
 		}
-		cum += m.counts[len(f.buckets)].Load()
+		cum += counts[len(f.buckets)]
 		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
 			labelPairs(f.labelNames, m.labelVals, "le", "+Inf"), cum); err != nil {
 			return err
@@ -376,7 +477,7 @@ func writeChild(w io.Writer, f *Family, m *Metric) error {
 			return err
 		}
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
-			labelPairs(f.labelNames, m.labelVals), m.count.Load())
+			labelPairs(f.labelNames, m.labelVals), m.Count())
 		return err
 	}
 	return nil
@@ -436,13 +537,14 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			case KindCounter, KindGauge:
 				ss.Value = m.Value()
 			case KindHistogram:
-				ss.Count = m.count.Load()
+				counts := m.BucketCounts()
+				ss.Count = m.Count()
 				ss.Sum = m.Sum()
 				ss.Buckets = make(map[string]uint64, len(f.buckets)+1)
 				for i, bound := range f.buckets {
-					ss.Buckets[formatFloat(bound)] = m.counts[i].Load()
+					ss.Buckets[formatFloat(bound)] = counts[i]
 				}
-				ss.Buckets["+Inf"] = m.counts[len(f.buckets)].Load()
+				ss.Buckets["+Inf"] = counts[len(f.buckets)]
 			}
 			fs.Series = append(fs.Series, ss)
 		}
