@@ -51,6 +51,7 @@ bench:
 bench-scale:
 	$(GO) test -run xxx -bench . -benchtime 2s ./internal/mpi/
 	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x -count 3 ./internal/insitu/
+	$(GO) test -run xxx -bench BenchmarkTopologies -benchtime 1x -count 3 ./internal/workflow/
 	$(GO) test -run xxx -bench . -benchtime 1s -cpu 1,4,8 ./internal/telemetry/
 
 # bench-scale-profile repeats the measurement run with CPU and heap
@@ -61,6 +62,8 @@ bench-scale-profile:
 		-cpuprofile mpi.cpu.out -memprofile mpi.mem.out ./internal/mpi/
 	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x \
 		-cpuprofile insitu.cpu.out -memprofile insitu.mem.out ./internal/insitu/
+	$(GO) test -run xxx -bench BenchmarkTopologies -benchtime 1x \
+		-cpuprofile workflow.cpu.out -memprofile workflow.mem.out ./internal/workflow/
 	$(GO) test -run xxx -bench . -benchtime 0.3s -cpu 4 \
 		-cpuprofile telemetry.cpu.out -memprofile telemetry.mem.out ./internal/telemetry/
 
@@ -71,6 +74,7 @@ bench-scale-profile:
 bench-scale-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/mpi/
 	$(GO) test -run xxx -bench 'BenchmarkInsituScale/nodes=256' -benchtime 1x ./internal/insitu/
+	$(GO) test -run xxx -bench 'BenchmarkTopologies/nodes=256' -benchtime 1x ./internal/workflow/
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/telemetry/
 
 clean:

@@ -6,8 +6,16 @@
 //
 //	insitu [-policy seesaw] [-analyses msd,rdf] [-sim 2] [-ana 2]
 //	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1]
+//	       [-topology space-shared|time-shared|in-transit]
 //	       [-faults PLAN] [-no-ana-memo] [-csv]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//
+// -topology picks the placement: space-shared (the default: separate
+// partitions over the interconnect), time-shared (each analysis rank
+// co-resident with a simulation rank as two half-node power domains;
+// needs -sim == -ana, and -cap still describes the full physical node)
+// or in-transit (frames pay a modeled staging hop on the producers'
+// clock).
 //
 // -faults injects a deterministic fault plan (internal/fault grammar,
 // e.g. "slow:1@5x2+20" or "kill:3@20"). A slow excursion degrades the
@@ -51,6 +59,7 @@ func main() {
 	capPer := flag.Float64("cap", 110, "per-node power budget (W)")
 	seed := flag.Uint64("seed", 1, "job seed")
 	faults := flag.String("faults", "", "fault plan, e.g. 'slow:1@5x2+20' or 'kill:3@20' (see internal/fault)")
+	topology := flag.String("topology", "", "placement: space-shared (default), time-shared (sim and analysis co-resident, needs -sim == -ana) or in-transit (frames pay a staging hop)")
 	noAnaMemo := flag.Bool("no-ana-memo", false, "disable analysis-side memoization (run every rank's kernels in place; results are byte-identical either way)")
 	csv := flag.Bool("csv", false, "emit the per-synchronization log as CSV")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the job to this file")
@@ -109,6 +118,7 @@ func main() {
 		Seed:        *seed,
 		Faults:      plan,
 		NoAnaMemo:   *noAnaMemo,
+		Topology:    *topology,
 	})
 	if err != nil {
 		var ke *fault.KilledError

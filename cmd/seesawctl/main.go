@@ -4,6 +4,7 @@
 // Usage:
 //
 //	seesawctl list                 # list experiment ids
+//	seesawctl experiments          # list experiments grouped into families
 //	seesawctl run <id> [flags]     # run one experiment (fig1..fig9b, table1, table2, abl-*)
 //	seesawctl all [flags]          # run every experiment in paper order
 //	seesawctl trace [flags]        # per-synchronization CSV of one policy cell
@@ -22,7 +23,8 @@
 // cells are skipped, any partial report is flushed, and the process
 // exits non-zero.
 //
-// trace flags: -policy, -analyses, -nodes, -dim, -j, -w, -faults (see -h).
+// trace flags: -policy, -analyses, -nodes, -dim, -j, -w, -faults,
+// -topology (space-shared, time-shared, in-transit or dag; see -h).
 // serve flags: -addr, -id, plus the shared flags above (see -h).
 package main
 
@@ -45,6 +47,7 @@ import (
 	"seesaw/internal/machine"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
+	"seesaw/internal/workflow"
 	"seesaw/internal/workload"
 )
 
@@ -115,6 +118,14 @@ func run(ctx context.Context, args []string) int {
 	case "list":
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case "experiments":
+		for _, f := range bench.Families() {
+			fmt.Printf("%s — %s\n", f.Name, f.Description)
+			for _, id := range f.IDs {
+				e, _ := bench.Get(id)
+				fmt.Printf("  %-14s %s\n", id, e.Title)
+			}
 		}
 	case "run":
 		if len(args) < 2 {
@@ -205,12 +216,34 @@ func runJob(ctx context.Context, args []string) int {
 	if err != nil {
 		return fail(ctx, err)
 	}
+	hub, closeHub := mustOpenHub(*telPath)
+	defer closeHub()
+	if j.Topology != "" && j.Topology != "space-shared" {
+		wcfg, err := j.BuildWorkflow()
+		if err != nil {
+			return fail(ctx, err)
+		}
+		wcfg.Telemetry = hub
+		res, err := workflow.Run(ctx, wcfg)
+		if err != nil {
+			return fail(ctx, err)
+		}
+		if *csv {
+			if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
+				return fail(ctx, err)
+			}
+			return 0
+		}
+		fmt.Printf("topology %s with policy %s: total %.1f s, energy %.1f kJ, mean slack %.2f%%, transfer %.1f s\n",
+			j.Topology, wcfg.Policy.Name(),
+			float64(res.MainLoopTime), float64(res.TotalEnergy)/1000,
+			res.SyncLog.MeanSlackFrom(10)*100, float64(res.TransferSeconds))
+		return 0
+	}
 	cfg, err := j.Build()
 	if err != nil {
 		return fail(ctx, err)
 	}
-	hub, closeHub := mustOpenHub(*telPath)
-	defer closeHub()
 	cfg.Telemetry = hub
 	res, err := cosim.Run(ctx, cfg)
 	if err != nil {
@@ -244,6 +277,7 @@ func runTrace(ctx context.Context, args []string) int {
 	capPer := fs.Float64("cap", 110, "per-node budget (W)")
 	seed := fs.Uint64("seed", 1, "job seed")
 	faults := fs.String("faults", "", "fault plan, e.g. 'kill:3@40,slow:0@10x2+20' (see internal/fault)")
+	topology := fs.String("topology", "", "workflow topology: space-shared, time-shared, in-transit or dag (default: the classic space-shared driver)")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -260,6 +294,43 @@ func runTrace(ctx context.Context, args []string) int {
 		tasks = workload.AllAnalysesForDim(*dim)
 	} else {
 		tasks = workload.Tasks(strings.Split(*analyses, ",")...)
+	}
+	if *topology != "" {
+		topo, terr := workflow.Build(*topology, workflow.Params{
+			Nodes: *nodes, Dim: *dim, J: *j, Steps: *steps, Analyses: tasks,
+		})
+		if terr != nil {
+			return fail(ctx, terr)
+		}
+		cons := topo.ScaleCaps(core.Constraints{
+			Budget: units.Watts(*capPer) * units.Watts(topo.PhysicalNodes), MinCap: 98, MaxCap: 215,
+		})
+		pol, perr := bench.NewPolicy(*policy, cons, *w)
+		if perr != nil {
+			return fail(ctx, perr)
+		}
+		res, rerr := workflow.Run(ctx, workflow.Config{
+			Graph:       topo.Graph,
+			Steps:       *steps,
+			SyncEvery:   *j,
+			Policy:      pol,
+			Constraints: cons,
+			Seed:        *seed,
+			RunSeed:     *seed + 1,
+			Noise:       machine.DefaultNoise(),
+			Faults:      plan,
+			Telemetry:   hub,
+		})
+		if rerr != nil {
+			return fail(ctx, rerr)
+		}
+		if err := res.SyncLog.WriteCSV(os.Stdout); err != nil {
+			return fail(ctx, err)
+		}
+		fmt.Fprintf(os.Stderr, "seesawctl trace: %s on %d nodes (%s), total %.1f s, mean slack %.2f%%, transfer %.1f s\n",
+			*policy, *nodes, *topology, float64(res.MainLoopTime),
+			res.SyncLog.MeanSlackFrom(10)*100, float64(res.TransferSeconds))
+		return 0
 	}
 	cons := core.Constraints{Budget: units.Watts(*capPer) * units.Watts(*nodes), MinCap: 98, MaxCap: 215}
 	pol, perr := bench.NewPolicy(*policy, cons, *w)
@@ -324,13 +395,19 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `seesawctl — regenerate the SeeSAw paper's tables and figures
 
 usage:
-  seesawctl list
+  seesawctl list                           # experiment ids and titles
+  seesawctl experiments                    # experiments grouped into families
   seesawctl run <id> [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
   seesawctl all [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
-  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-faults PLAN] [-telemetry FILE]
+  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-faults PLAN] [-topology T] [-telemetry FILE]
   seesawctl job [-csv] [-telemetry FILE] <job.json>
   seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N] [-jobs N]
   seesawctl selftest [-seed N] [-jobs N]   # verify the paper's headline invariants
+
+-topology (and the job file's "topology" key) selects the workflow
+placement: space-shared (default), time-shared, in-transit or dag. Any
+value but the default routes the run through the workflow-graph engine
+(internal/workflow).
 
 Experiment cells run concurrently (bounded by -jobs); reports are
 byte-identical at any -jobs value. Ctrl-C cancels cleanly: partial

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"seesaw/internal/campaign"
 
@@ -112,6 +113,49 @@ func sortedIDs() []string {
 // UnknownExperimentError formats a helpful error for a bad id.
 func UnknownExperimentError(id string) error {
 	return fmt.Errorf("bench: unknown experiment %q (have %v)", id, sortedIDs())
+}
+
+// Family groups related experiments for listings (seesawctl
+// experiments).
+type Family struct {
+	// Name is the short family label.
+	Name string
+	// Description is a one-line summary of what the family's
+	// experiments measure.
+	Description string
+	// IDs lists the member experiments in registration order.
+	IDs []string
+}
+
+// Families returns the registered experiments grouped into families, in
+// registration (paper) order within each family.
+func Families() []Family {
+	fams := []Family{
+		{Name: "paper", Description: "the paper's figures and tables (Section VII) regenerated on the simulated platform"},
+		{Name: "ablations", Description: "allocator ablations: EWMA smoothing, window length, hierarchy, exploration, oracle bound, setup transient"},
+		{Name: "extensions", Description: "beyond-paper extensions: alternative schedulers and inter-partition power shifting"},
+		{Name: "faults", Description: "node kills and slowdown excursions mid-run: policy re-convergence and survivor accounting"},
+		{Name: "topologies", Description: "the four policies across space-shared, time-shared, in-transit and DAG workflow placements"},
+	}
+	idx := map[string]int{}
+	for i, f := range fams {
+		idx[f.Name] = i
+	}
+	for _, id := range order {
+		f := "paper"
+		switch {
+		case strings.HasPrefix(id, "abl-"):
+			f = "ablations"
+		case strings.HasPrefix(id, "ext-"):
+			f = "extensions"
+		case id == "faults":
+			f = "faults"
+		case id == "topologies":
+			f = "topologies"
+		}
+		fams[idx[f]].IDs = append(fams[idx[f]].IDs, id)
+	}
+	return fams
 }
 
 // Experiment-wide defaults mirroring Section VII's setup.

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "table1", "fig3a", "fig3b", "fig4", "fig5",
 		"fig6", "table2", "fig7", "fig8", "fig9a", "fig9b",
 		"abl-ewma", "abl-window", "abl-hier", "abl-explore", "abl-oracle", "ext-sched", "ext-powershift", "abl-transient",
-		"faults"}
+		"faults", "topologies"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true
@@ -32,6 +32,32 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if len(IDs()) != len(want) {
 		t.Errorf("registry has %d experiments, want %d", len(IDs()), len(want))
+	}
+}
+
+func TestFamiliesPartitionRegistry(t *testing.T) {
+	seen := map[string]string{}
+	for _, f := range Families() {
+		if f.Description == "" {
+			t.Errorf("family %s has no description", f.Name)
+		}
+		if len(f.IDs) == 0 {
+			t.Errorf("family %s is empty", f.Name)
+		}
+		for _, id := range f.IDs {
+			if prev, dup := seen[id]; dup {
+				t.Errorf("experiment %s in both %s and %s", id, prev, f.Name)
+			}
+			seen[id] = f.Name
+		}
+	}
+	for _, id := range IDs() {
+		if _, ok := seen[id]; !ok {
+			t.Errorf("experiment %s missing from all families", id)
+		}
+	}
+	if len(seen) != len(IDs()) {
+		t.Errorf("families list %d experiments, registry has %d", len(seen), len(IDs()))
 	}
 }
 

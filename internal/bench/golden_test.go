@@ -113,6 +113,33 @@ func TestFaultsByteIdenticalAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestTopologiesByteIdenticalAcrossJobs pins determinism for the
+// workflow engine: the topologies campaign spans all three placements
+// plus the DAG pipeline, so time-shared half-node domains, in-transit
+// staging phases and fan-in receive ordering must all be invisible to
+// worker-pool scheduling.
+func TestTopologiesByteIdenticalAcrossJobs(t *testing.T) {
+	e, ok := Get("topologies")
+	if !ok {
+		t.Fatal("topologies experiment not registered")
+	}
+	render := func(jobs int) []byte {
+		t.Helper()
+		o := fastOptions()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := e.Run(context.Background(), o, &buf); err != nil {
+			t.Fatalf("topologies(jobs=%d): %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("topologies reports differ between jobs=1 and jobs=8:\n%s\n---\n%s", seq, par)
+	}
+}
+
 // TestReportMatchesSeedGolden pins the full experiment report to the
 // bytes the seed runtime produced (testdata/report_golden.md, captured
 // before the sharded-rendezvous rewrite of internal/mpi). Virtual-time

@@ -51,6 +51,14 @@ type Config struct {
 	// Faults is the fault plan applied on the virtual clock; nil means a
 	// fault-free run.
 	Faults *fault.Plan
+	// Scales optionally gives each node a physical-fraction factor: node
+	// i is built with its machine model and RAPL domain scaled by
+	// Scales[i] (see machine.Model.Scale). The workflow engine uses it
+	// for time-shared placements, where two co-resident stage ranks each
+	// own a half-node. Nil means every node is a full node; when set, the
+	// length must equal SimNodes+AnaNodes and every factor must be in
+	// (0, 1].
+	Scales []float64
 	// Telemetry, when non-nil, receives per-partition RAPL metrics from
 	// every node (events from one representative node per partition, to
 	// stay readable at 1024 nodes) and the node-lifecycle events.
@@ -110,6 +118,16 @@ func New(cfg Config) (*Cluster, error) {
 		cfg.Rapl = rapl.Theta()
 	}
 	n := cfg.SimNodes + cfg.AnaNodes
+	if cfg.Scales != nil {
+		if len(cfg.Scales) != n {
+			return nil, fmt.Errorf("cluster: %d node scales for %d nodes", len(cfg.Scales), n)
+		}
+		for i, s := range cfg.Scales {
+			if s <= 0 || s > 1 {
+				return nil, fmt.Errorf("cluster: node %d scale %g outside (0, 1]", i, s)
+			}
+		}
+	}
 	if err := cfg.Faults.Validate(n); err != nil {
 		return nil, err
 	}
@@ -142,7 +160,12 @@ func New(cfg Config) (*Cluster, error) {
 		aliveAna: cfg.AnaNodes,
 	}
 	for i := 0; i < n; i++ {
-		c.nodes[i] = machine.NewNodeWithSeeds(i, cfg.Rapl, cfg.Machine, cfg.Noise, cfg.JobSeed, runSeed)
+		raplCfg, model := cfg.Rapl, cfg.Machine
+		if cfg.Scales != nil {
+			raplCfg = raplCfg.Scale(cfg.Scales[i])
+			model = model.Scale(cfg.Scales[i])
+		}
+		c.nodes[i] = machine.NewNodeWithSeeds(i, raplCfg, model, cfg.Noise, cfg.JobSeed, runSeed)
 		if i < cfg.SimNodes {
 			c.roles[i] = core.RoleSimulation
 		} else {

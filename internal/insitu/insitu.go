@@ -32,17 +32,16 @@ import (
 	"sync"
 
 	"seesaw/internal/analysis"
-	"seesaw/internal/cluster"
 	"seesaw/internal/core"
 	"seesaw/internal/fault"
 	"seesaw/internal/lammps"
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
-	"seesaw/internal/polimer"
 	"seesaw/internal/rapl"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
+	"seesaw/internal/workflow"
 )
 
 // Config describes one in-situ job.
@@ -65,6 +64,15 @@ type Config struct {
 	// interval of individual analyses (Table II's mixed-interval
 	// scenario); analyses not listed run every SyncEvery steps.
 	AnalysisIntervals map[string]int
+	// Topology selects the analysis partition's placement: "" or
+	// "space-shared" (dedicated nodes, the paper's setup),
+	// "time-shared" (each analysis rank co-resides with a simulation
+	// rank, splitting the physical node into two half-node power
+	// domains; requires equal partitions — Constraints and the initial
+	// caps describe full physical nodes and are halved internally), or
+	// "in-transit" (frames reach the analysis partition through a
+	// staging hop the simulation ranks pay for on the virtual clock).
+	Topology string
 	// Policy is the power-allocation policy evaluated on the root rank.
 	Policy core.Policy
 	// Constraints carry the global budget and cap range.
@@ -109,6 +117,12 @@ type Config struct {
 	// and policy decisions (via PoLiMER). Nil disables instrumentation
 	// at no cost.
 	Telemetry *telemetry.Hub
+
+	// placement is Topology parsed; wattScale/timeScale adapt the
+	// per-phase power envelope and nominal time to the rank's power
+	// domain (0.5/2 on a time-shared half-node, 1/1 otherwise).
+	placement            workflow.Placement
+	wattScale, timeScale float64
 }
 
 // normalize fills zero-valued sub-configurations with defaults.
@@ -139,6 +153,26 @@ func (c *Config) normalize() error {
 	}
 	if c.Cost == (mpi.CostModel{}) {
 		c.Cost = mpi.DefaultCost()
+	}
+	placement, err := workflow.ParsePlacement(c.Topology)
+	if err != nil {
+		return fmt.Errorf("insitu: topology: %w", err)
+	}
+	c.placement = placement
+	c.wattScale, c.timeScale = 1, 1
+	if placement == workflow.TimeShared {
+		if c.SimRanks != c.AnaRanks {
+			return fmt.Errorf("insitu: time-shared topology pairs partitions rank-for-rank, got sim=%d ana=%d", c.SimRanks, c.AnaRanks)
+		}
+		// The caller's constraints and caps describe full physical
+		// nodes; under time-sharing each rank owns a half-node domain
+		// and the machine has half the nodes the rank count suggests.
+		c.Constraints.Budget /= 2
+		c.Constraints.MinCap /= 2
+		c.Constraints.MaxCap /= 2
+		c.InitialSimCap /= 2
+		c.InitialAnaCap /= 2
+		c.wattScale, c.timeScale = 0.5, 2
 	}
 	nodes := c.SimRanks + c.AnaRanks
 	if err := c.Constraints.Validate(nodes); err != nil {
@@ -215,30 +249,18 @@ const (
 // Run executes the in-situ job and returns its result. Cancelling the
 // context unwinds every rank goroutine — including ranks blocked at a
 // collective or in a receive — and Run returns ctx.Err().
+//
+// The job executes as a two-stage workflow graph on the workflow
+// engine, which owns cluster construction, PoLiMER setup, placement
+// (including the time-shared half-node split and the in-transit staging
+// hop) and result aggregation; this driver supplies the per-rank bodies
+// that replay real mini-MD and real analyses.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	nWorld := cfg.SimRanks + cfg.AnaRanks
 	syncSchedule := cfg.syncSteps()
 	tables, err := newJobTables(ctx, &cfg, syncSchedule)
-	if err != nil {
-		return nil, err
-	}
-
-	// The cluster layer owns node construction and health. It builds the
-	// same single-seed nodes this driver used to create per rank, so
-	// fault-free runs are unchanged.
-	cl, err := cluster.New(cluster.Config{
-		SimNodes:  cfg.SimRanks,
-		AnaNodes:  cfg.AnaRanks,
-		Rapl:      cfg.Rapl,
-		Machine:   cfg.Machine,
-		Noise:     cfg.Noise,
-		JobSeed:   cfg.Seed,
-		Faults:    cfg.Faults,
-		Telemetry: cfg.Telemetry,
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -247,83 +269,54 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		AnalysisResults: make(map[string][]float64),
 		SyncLog:         &trace.SyncLog{},
 	}
-	if cfg.PowerSample > 0 {
-		res.PowerTrace = trace.NewRecorder()
+	var mu sync.Mutex // guards the body-written Result fields
+
+	host := ""
+	if cfg.placement == workflow.TimeShared {
+		host = "sim"
 	}
-	var mu sync.Mutex // guards res across rank goroutines
-	// Per-rank energies are summed in world-rank order after the job so
-	// TotalEnergy does not depend on which goroutine reaches the final
-	// mutex first (float addition order is part of the byte-identity
-	// contract the golden test pins).
-	rankEnergy := make([]units.Joules, nWorld)
-
-	err = mpi.RunContext(ctx, nWorld, cfg.Cost, cfg.Telemetry, func(r *mpi.Rank) {
-		isSim := r.WorldRank() < cfg.SimRanks
-		role := cl.Role(r.WorldRank())
-		node := cl.Node(r.WorldRank())
-
-		initialCap := cfg.InitialAnaCap
-		if isSim {
-			initialCap = cfg.InitialSimCap
-		}
-		mgr, err := polimer.Init(r, role, node, polimer.Options{
-			Policy:       cfg.Policy,
-			Constraints:  cfg.Constraints,
-			InitialCap:   initialCap,
-			ShortTermCap: cfg.ShortTermCap,
-			Telemetry:    cfg.Telemetry,
-			Health:       func() core.Health { return cl.Health(r.WorldRank()) },
-		})
-		if err != nil {
-			panic(err)
-		}
-		var mon *polimer.Monitor
-		if cfg.PowerSample > 0 {
-			mon, err = polimer.NewMonitor(node, cfg.PowerSample)
-			if err != nil {
-				panic(err)
-			}
-			mgr.AttachMonitor(mon)
-		}
-
-		// Split into partition communicators, as Splitanalysis does.
-		color := 0
-		if !isSim {
-			color = 1
-		}
-		part := r.World().Split(color, r.WorldRank())
-
-		if isSim {
-			runSimRank(r, part, node, mgr, &cfg, tables, cl, res, &mu)
-		} else {
-			runAnaRank(r, part, node, mgr, &cfg, tables, syncSchedule, cl, res, &mu)
-		}
-
-		// Collect job-level aggregates.
-		endClock := r.World().AllreduceMax([]float64{float64(r.Clock())})[0]
-		mu.Lock()
-		if units.Seconds(endClock) > res.MainLoopTime {
-			res.MainLoopTime = units.Seconds(endClock)
-		}
-		rankEnergy[r.WorldRank()] = node.RAPL().Energy()
-		if r.WorldRank() == 0 {
-			res.SyncLog = mgr.SyncLog()
-			res.OverheadTotal = mgr.OverheadTotal()
-			res.Syncs = len(syncSchedule)
-		}
-		if mon != nil {
-			mon.Poll()
-			dst := res.PowerTrace.Series(fmt.Sprintf("node-%03d", r.WorldRank()))
-			dst.Samples = append(dst.Samples, mon.Series().Samples...)
-		}
-		mu.Unlock()
+	g := workflow.Graph{
+		Name: "insitu",
+		Stages: []workflow.Stage{
+			{Name: "sim", Role: core.RoleSimulation, Ranks: cfg.SimRanks,
+				Body: func(rc *workflow.RankCtx) { runSimRank(rc, &cfg, tables, res, &mu) }},
+			{Name: "ana", Role: core.RoleAnalysis, Ranks: cfg.AnaRanks,
+				Placement: cfg.placement, Host: host,
+				Body: func(rc *workflow.RankCtx) { runAnaRank(rc, &cfg, tables, syncSchedule, res, &mu) }},
+		},
+		// Declaration order fixes the edge tags to the historical
+		// tagFrame/tagCount values the bodies send on.
+		Edges: []workflow.Edge{
+			{From: "sim", To: "ana", BytesPerRank: tables.trace.frameBytes},
+			{From: "sim", To: "ana", BytesPerRank: 8},
+		},
+	}
+	wres, err := workflow.Run(ctx, workflow.Config{
+		Graph:        g,
+		Steps:        cfg.Steps,
+		SyncSteps:    syncSchedule,
+		Policy:       cfg.Policy,
+		Constraints:  cfg.Constraints,
+		InitialCaps:  map[string]units.Watts{"sim": cfg.InitialSimCap, "ana": cfg.InitialAnaCap},
+		ShortTermCap: cfg.ShortTermCap,
+		Seed:         cfg.Seed,
+		Faults:       cfg.Faults,
+		Noise:        cfg.Noise,
+		Machine:      cfg.Machine,
+		Rapl:         cfg.Rapl,
+		Cost:         cfg.Cost,
+		PowerSample:  cfg.PowerSample,
+		Telemetry:    cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range rankEnergy {
-		res.TotalEnergy += e
-	}
+	res.MainLoopTime = wres.MainLoopTime
+	res.Syncs = wres.Syncs
+	res.SyncLog = wres.SyncLog
+	res.TotalEnergy = wres.TotalEnergy
+	res.OverheadTotal = wres.OverheadTotal
+	res.PowerTrace = wres.PowerTrace
 	return res, nil
 }
 
@@ -405,27 +398,16 @@ func newJobTables(ctx context.Context, cfg *Config, syncSchedule []int) (*jobTab
 	return t, nil
 }
 
-// applyFaults advances this rank's node through the fault plan at the
-// given 1-based synchronization index, right before the power
-// allocation. A slow excursion takes effect in place; a kill aborts the
-// whole job through the runtime's poisoning path — blocked collectives
-// unwind and Run returns the *fault.KilledError.
-func applyFaults(cl *cluster.Cluster, r *mpi.Rank, sync int) {
-	if _, dead := cl.Apply(r.WorldRank(), r.Clock(), sync); dead {
-		r.Fail(&fault.KilledError{Node: r.WorldRank(), Sync: sync})
-	}
-}
-
 // runSimRank is the per-step loop of a simulation rank. The physics was
 // integrated once by recordSimTrace; each rank replays the recording
 // (identical work, frames and thermo scalars on every rank) and spends
 // its time in the parts that do differ per rank: virtual-time phases,
 // power allocation, faults and communication.
-func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, tables *jobTables, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
-
+func runSimRank(rc *workflow.RankCtx, cfg *Config, tables *jobTables, res *Result, mu *sync.Mutex) {
+	r, simComm, node := rc.Rank, rc.Part, rc.Node
+	mgr := rc.Mgr
 	tr := tables.trace
-	dst := pairedAnaRank(r.WorldRank(), cfg.SimRanks, cfg.AnaRanks)
+	dst := rc.OutDest(0)
 	phases := &tables.sim
 
 	syncIdx := 0
@@ -436,7 +418,7 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 
 		if st.frame != nil {
 			syncIdx++
-			applyFaults(cl, r, syncIdx)
+			rc.ApplyFaults(syncIdx)
 			// Power allocation immediately before the synchronization.
 			mgr.PowerAlloc()
 
@@ -445,7 +427,10 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 			// reads the frame, so every rank ships the shared recorded
 			// snapshot instead of cloning ~frameBytes per send; the legacy
 			// in-place path consumes frames and keeps its own copies.
+			// Under an in-transit topology StageTransfer first pays the
+			// staging hop on this rank's clock.
 			runWork(r, node, cfg, phases.sync, lammps.WorkCount{Ops: float64(tr.n) * 6, Bytes: tr.frameBytes})
+			rc.StageTransfer(0, syncIdx)
 			if cfg.NoAnaMemo {
 				r.Send(dst, tagFrame, st.cloneFrame(), tr.frameBytes)
 			} else {
@@ -456,6 +441,7 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 			runWork(r, node, cfg, phases.rebuild, lammps.WorkCount{Ops: float64(tr.n) * 4})
 
 			// Step 4: particle count for verification.
+			rc.StageTransfer(1, syncIdx)
 			r.Send(dst, tagCount, tr.n, 8)
 
 			// Step 5: update neighbor lists.
@@ -492,9 +478,11 @@ func runSimRank(r *mpi.Rank, simComm *mpi.Comm, node *machine.Node, mgr *polimer
 // phases, power allocation, faults and communication. With
 // Config.NoAnaMemo the rank instead runs its own kernels in place, as
 // the seed did; the golden test pins both paths to identical bytes.
-func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer.Manager,
-	cfg *Config, tables *jobTables, syncSchedule []int, cl *cluster.Cluster, res *Result, mu *sync.Mutex) {
+func runAnaRank(rc *workflow.RankCtx, cfg *Config, tables *jobTables, syncSchedule []int,
+	res *Result, mu *sync.Mutex) {
 
+	r, anaComm, node := rc.Rank, rc.Part, rc.Node
+	mgr := rc.Mgr
 	at := tables.anaTr
 	// Legacy in-place path: instantiate this rank's own analyses.
 	var tasks []analysis.Analysis
@@ -518,7 +506,7 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 	}
 
 	for si, step := range syncSchedule {
-		applyFaults(cl, r, si+1)
+		rc.ApplyFaults(si + 1)
 		// Power allocation immediately before the synchronization.
 		mgr.PowerAlloc()
 
@@ -553,14 +541,13 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 					w := rec.work[si][flat]
 					flat++
 					nominal := units.Seconds(w.Ops*spec.prof.SecondsPerOp + float64(w.Bytes)*bytesSecPerByte)
-					exec := node.Run(machine.Phase{
+					runPhase(r, node, cfg, machine.Phase{
 						Name:        spec.name,
 						Nominal:     nominal,
 						Demand:      spec.prof.Demand,
 						Saturation:  spec.prof.Saturation,
 						Sensitivity: spec.prof.Sensitivity,
-					}, cfg.Noise)
-					r.Elapse(exec.Duration)
+					})
 				}
 				continue
 			}
@@ -571,14 +558,13 @@ func runAnaRank(r *mpi.Rank, anaComm *mpi.Comm, node *machine.Node, mgr *polimer
 				w := t.Consume(frame)
 				p := t.Profile()
 				nominal := units.Seconds(w.Ops*p.SecondsPerOp + float64(w.Bytes)*bytesSecPerByte)
-				exec := node.Run(machine.Phase{
+				runPhase(r, node, cfg, machine.Phase{
 					Name:        t.Name(),
 					Nominal:     nominal,
 					Demand:      p.Demand,
 					Saturation:  p.Saturation,
 					Sensitivity: p.Sensitivity,
-				}, cfg.Noise)
-				r.Elapse(exec.Duration)
+				})
 			}
 		}
 	}
@@ -640,12 +626,25 @@ func runWork(r *mpi.Rank, node *machine.Node, cfg *Config, spec phaseSpec, w lam
 	if nominal <= 0 {
 		return
 	}
-	exec := node.Run(machine.Phase{
+	runPhase(r, node, cfg, machine.Phase{
 		Name:        "phase",
 		Nominal:     nominal,
 		Demand:      spec.demand,
 		Saturation:  spec.saturation,
 		Sensitivity: spec.sens,
-	}, cfg.Noise)
+	})
+}
+
+// runPhase executes one phase on the rank's node and advances the
+// virtual clock. On a time-shared half-node the phase is adapted to the
+// rank's power domain: half the demand/saturation envelope, twice the
+// nominal time (half the machine does the same work).
+func runPhase(r *mpi.Rank, node *machine.Node, cfg *Config, ph machine.Phase) {
+	if cfg.wattScale != 1 {
+		ph.Nominal = units.Seconds(float64(ph.Nominal) * cfg.timeScale)
+		ph.Demand = units.Watts(float64(ph.Demand) * cfg.wattScale)
+		ph.Saturation = units.Watts(float64(ph.Saturation) * cfg.wattScale)
+	}
+	exec := node.Run(ph, cfg.Noise)
 	r.Elapse(exec.Duration)
 }

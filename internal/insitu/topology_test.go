@@ -1,0 +1,82 @@
+package insitu
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"seesaw/internal/core"
+)
+
+func TestTopologyUnknownRejected(t *testing.T) {
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 5)
+	cfg.Topology = "ring"
+	_, err := Run(context.Background(), cfg)
+	if err == nil {
+		t.Fatal("bogus topology accepted")
+	}
+	for _, want := range []string{`"ring"`, "space-shared", "time-shared", "in-transit"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("topology error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestTimeSharedRequiresPairedPartitions(t *testing.T) {
+	cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 5)
+	cfg.SimRanks, cfg.AnaRanks = 3, 1
+	cfg.Topology = "time-shared"
+	if _, err := Run(context.Background(), cfg); err == nil ||
+		!strings.Contains(err.Error(), "rank-for-rank") {
+		t.Errorf("unpaired time-shared run should be rejected, got %v", err)
+	}
+}
+
+// TestTopologiesDivergeFromSpaceShared: the alternative placements run
+// the same workload but must cost differently — in-transit adds staging
+// phases to every frame exchange, time-shared contends for half-node
+// domains — while producing identical analysis output.
+func TestTopologiesDivergeFromSpaceShared(t *testing.T) {
+	run := func(topology string) *Result {
+		t.Helper()
+		cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 10)
+		cfg.Topology = topology
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("topology %q: %v", topology, err)
+		}
+		return res
+	}
+	base := run("")
+	transit := run("in-transit")
+	shared := run("time-shared")
+	if transit.MainLoopTime <= base.MainLoopTime {
+		t.Errorf("in-transit (%v) should be slower than space-shared (%v): staging is paid on the clock",
+			transit.MainLoopTime, base.MainLoopTime)
+	}
+	if shared.MainLoopTime == base.MainLoopTime {
+		t.Error("time-shared run identical to space-shared; half-node domains not applied")
+	}
+	for _, res := range []*Result{transit, shared} {
+		if len(res.AnalysisResults["msd"]) != len(base.AnalysisResults["msd"]) {
+			t.Error("placement changed the analysis output shape")
+		}
+	}
+}
+
+func TestTimeSharedDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := tinyConfig(core.NewStatic(), []string{"msd"}, 8)
+		cfg.Topology = "time-shared"
+		res, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MainLoopTime != b.MainLoopTime || a.TotalEnergy != b.TotalEnergy {
+		t.Errorf("time-shared runs diverge: %v/%v vs %v/%v",
+			a.MainLoopTime, a.TotalEnergy, b.MainLoopTime, b.TotalEnergy)
+	}
+}

@@ -24,12 +24,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
+	"strings"
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
 	"seesaw/internal/fault"
 	"seesaw/internal/machine"
 	"seesaw/internal/units"
+	"seesaw/internal/workflow"
 	"seesaw/internal/workload"
 )
 
@@ -66,20 +69,48 @@ type Job struct {
 	// Faults is an optional fault plan in internal/fault's grammar,
 	// e.g. "kill:3@40,slow:0@10x2+20".
 	Faults string `json:"faults,omitempty"`
+
+	// Topology selects the workflow placement: "" or "space-shared"
+	// runs the classic two-partition driver; "time-shared",
+	// "in-transit" and "dag" run the job through the workflow-graph
+	// engine (see internal/workflow).
+	Topology string `json:"topology,omitempty"`
 }
 
-// Load reads a job description from r.
+// Load reads a job description from r. Unknown top-level keys are
+// rejected (a typoed key must not silently fall back to a default), as
+// is trailing data after the job object.
 func Load(r io.Reader) (*Job, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var j Job
 	if err := dec.Decode(&j); err != nil {
+		if strings.Contains(err.Error(), "unknown field") {
+			return nil, fmt.Errorf("jobfile: %w (valid keys: %s)", err, strings.Join(validKeys(), ", "))
+		}
 		return nil, fmt.Errorf("jobfile: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("jobfile: trailing data after job object")
 	}
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
 	return &j, nil
+}
+
+// validKeys lists the job schema's top-level JSON keys, derived from
+// the struct tags so the error hint can never drift from the schema.
+func validKeys() []string {
+	var keys []string
+	t := reflect.TypeOf(Job{})
+	for i := 0; i < t.NumField(); i++ {
+		tag := t.Field(i).Tag.Get("json")
+		if name, _, _ := strings.Cut(tag, ","); name != "" && name != "-" {
+			keys = append(keys, name)
+		}
+	}
+	return keys
 }
 
 // LoadFile reads a job description from a file path.
@@ -123,6 +154,19 @@ func (j *Job) Validate() error {
 	}
 	if _, err := fault.Parse(j.Faults); err != nil {
 		return fmt.Errorf("jobfile: %w", err)
+	}
+	switch j.Topology {
+	case "":
+	default:
+		valid := false
+		for _, n := range workflow.TopologyNames() {
+			if j.Topology == n {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("jobfile: unknown topology %q (valid: %v)", j.Topology, workflow.TopologyNames())
+		}
 	}
 	return nil
 }
@@ -210,6 +254,98 @@ func (j *Job) Build() (cosim.Config, error) {
 		RunSeed:       j.RunSeed,
 		Noise:         noise,
 		Faults:        plan,
+	}, nil
+}
+
+// BuildWorkflow converts the description into a workflow-engine run of
+// the job's topology (Build runs the classic two-partition driver and
+// ignores the topology field). The nodes count is the physical machine
+// size; the builders place ranks on it per topology.
+func (j *Job) BuildWorkflow() (workflow.Config, error) {
+	name := j.Topology
+	if name == "" {
+		name = "space-shared"
+	}
+	nodes := j.Nodes
+	if nodes == 0 {
+		if j.SimNodes != j.AnaNodes {
+			return workflow.Config{}, fmt.Errorf("jobfile: topology %q pairs partitions: sim_nodes (%d) must equal ana_nodes (%d)",
+				name, j.SimNodes, j.AnaNodes)
+		}
+		nodes = j.SimNodes + j.AnaNodes
+	}
+	tasks := make([]workload.AnalysisTask, len(j.Analyses))
+	for i, a := range j.Analyses {
+		tasks[i] = workload.AnalysisTask{Name: a.Name, Interval: a.Interval}
+	}
+	topo, err := workflow.Build(name, workflow.Params{
+		Nodes: nodes, Dim: j.Dim, J: j.J, Steps: j.Steps, Analyses: tasks,
+	})
+	if err != nil {
+		return workflow.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
+
+	capPer := j.CapPerNodeW
+	if capPer == 0 {
+		capPer = 110
+	}
+	minCap := j.MinCapW
+	if minCap == 0 {
+		minCap = 98
+	}
+	maxCap := j.MaxCapW
+	if maxCap == 0 {
+		maxCap = 215
+	}
+	cons := topo.ScaleCaps(core.Constraints{
+		Budget: units.Watts(capPer) * units.Watts(topo.PhysicalNodes),
+		MinCap: units.Watts(minCap),
+		MaxCap: units.Watts(maxCap),
+	})
+
+	window := j.Window
+	if window < 1 {
+		window = 1
+	}
+	policyName := j.Policy
+	if policyName == "" {
+		policyName = "static"
+	}
+	policy, err := buildPolicy(policyName, cons, window)
+	if err != nil {
+		return workflow.Config{}, err
+	}
+
+	noise := machine.DefaultNoise()
+	if j.NoNoise {
+		noise = machine.NoiseModel{}
+	}
+	seed := j.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	plan, err := fault.Parse(j.Faults)
+	if err != nil {
+		return workflow.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
+	caps := map[string]units.Watts{}
+	if j.InitialSimCapW != 0 {
+		caps["sim"] = units.Watts(j.InitialSimCapW)
+	}
+	if j.InitialAnaCapW != 0 {
+		caps["ana"] = units.Watts(j.InitialAnaCapW)
+	}
+	return workflow.Config{
+		Graph:       topo.Graph,
+		Steps:       j.Steps,
+		SyncEvery:   j.J,
+		Policy:      policy,
+		Constraints: cons,
+		InitialCaps: caps,
+		Seed:        seed,
+		RunSeed:     j.RunSeed,
+		Noise:       noise,
+		Faults:      plan,
 	}, nil
 }
 

@@ -2,12 +2,14 @@ package jobfile
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"seesaw/internal/cosim"
+	"seesaw/internal/workflow"
 )
 
 const validJSON = `{
@@ -36,9 +38,78 @@ func TestLoadValid(t *testing.T) {
 }
 
 func TestLoadRejectsUnknownFields(t *testing.T) {
-	if _, err := Load(strings.NewReader(`{"nodes": 8, "dim": 16, "steps": 10,
-		"analyses": [{"name":"msd"}], "bogus_field": 1}`)); err == nil {
-		t.Error("unknown field should be rejected")
+	_, err := Load(strings.NewReader(`{"nodes": 8, "dim": 16, "steps": 10,
+		"analyses": [{"name":"msd"}], "bogus_field": 1}`))
+	if err == nil {
+		t.Fatal("unknown field should be rejected")
+	}
+	// The error must name the bad key and list the valid schema.
+	for _, want := range []string{"bogus_field", "valid keys", "nodes", "topology", "faults"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-field error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestLoadRejectsTrailingData(t *testing.T) {
+	if _, err := Load(strings.NewReader(validJSON + ` {"nodes": 4}`)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing data should be rejected, got %v", err)
+	}
+}
+
+func TestTopologyField(t *testing.T) {
+	base := `{"nodes": 8, "dim": 16, "steps": 10, "analyses": [{"name":"msd"}], "topology": %q}`
+	for _, tn := range []string{"space-shared", "time-shared", "in-transit", "dag"} {
+		j, err := Load(strings.NewReader(fmt.Sprintf(base, tn)))
+		if err != nil {
+			t.Errorf("topology %q rejected: %v", tn, err)
+			continue
+		}
+		if j.Topology != tn {
+			t.Errorf("topology = %q, want %q", j.Topology, tn)
+		}
+	}
+	_, err := Load(strings.NewReader(fmt.Sprintf(base, "ring")))
+	if err == nil {
+		t.Fatal("bogus topology accepted")
+	}
+	for _, want := range []string{`"ring"`, "space-shared", "time-shared", "in-transit", "dag"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("topology error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestBuildWorkflowAndRun(t *testing.T) {
+	j, err := Load(strings.NewReader(`{"nodes": 8, "dim": 8, "steps": 6,
+		"analyses": [{"name":"msd1d"}], "policy": "seesaw", "topology": "in-transit", "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := j.BuildWorkflow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Graph.Name != "space-shared" && cfg.Graph.Name != "in-transit" {
+		t.Errorf("unexpected graph %q", cfg.Graph.Name)
+	}
+	res, err := workflow.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MainLoopTime <= 0 || res.TransferSeconds <= 0 {
+		t.Errorf("in-transit run implausible: time %v, transfer %v", res.MainLoopTime, res.TransferSeconds)
+	}
+}
+
+func TestBuildWorkflowOddNodes(t *testing.T) {
+	j := &Job{Nodes: 7, Dim: 16, Steps: 10, Analyses: []Analysis{{Name: "msd"}}, Topology: "time-shared"}
+	if err := j.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.BuildWorkflow(); err == nil {
+		t.Error("odd node count should fail the topology builder")
 	}
 }
 

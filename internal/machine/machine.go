@@ -98,6 +98,23 @@ func DefaultModel() Model {
 	}
 }
 
+// Scale returns the model with its power constants (zero-work floor and
+// idle draw) multiplied by f, describing a fraction of a physical node.
+// A time-shared placement models two co-resident stage ranks as two
+// half-nodes (f = 0.5): halving every Watts constant leaves the
+// perf(p, sat) curve invariant under p -> p/2, sat -> sat/2, so a
+// half-node running a half-power phase at doubled nominal time
+// reproduces the full node's duration and energy exactly. The
+// performance-shape constants (MinPerf, noise boosts) are scale-free.
+func (m Model) Scale(f float64) Model {
+	if f == 1 {
+		return m
+	}
+	m.ZeroWork = units.Watts(float64(m.ZeroWork) * f)
+	m.IdlePower = units.Watts(float64(m.IdlePower) * f)
+	return m
+}
+
 // perf returns the normalized performance factor at effective power p for
 // a phase saturating at sat: linear in (p - ZeroWork) up to saturation,
 // flat beyond, floored at MinPerf.

@@ -62,6 +62,21 @@ func Theta() Config {
 	}
 }
 
+// Scale returns the configuration with its power bounds multiplied by
+// f, describing a RAPL sub-domain covering a fraction of a physical
+// node (a time-shared placement splits one node into two half-node
+// domains, f = 0.5). The averaging windows, actuation latency and
+// dual-cap margin are properties of the controller, not of the domain
+// size, and stay unchanged.
+func (c Config) Scale(f float64) Config {
+	if f == 1 {
+		return c
+	}
+	c.MinCap = units.Watts(float64(c.MinCap) * f)
+	c.TDP = units.Watts(float64(c.TDP) * f)
+	return c
+}
+
 // ErrCapOutOfRange is returned when a cap request lies outside the
 // hardware-supported range and clamping is disabled.
 var ErrCapOutOfRange = errors.New("rapl: requested cap outside supported range")

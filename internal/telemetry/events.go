@@ -176,6 +176,55 @@ type NodeRecovered struct {
 // Kind implements Event.
 func (NodeRecovered) Kind() string { return "NodeRecovered" }
 
+// StageStart records one workflow stage beginning its work for a
+// synchronization interval (emitted by the stage's first rank only, so
+// the stream stays readable at 1024 nodes).
+type StageStart struct {
+	T float64 `json:"t"`
+	// Stage is the workflow-graph stage name ("sim", "filter", ...).
+	Stage string `json:"stage"`
+	// Sync is the 1-based synchronization index.
+	Sync int `json:"sync"`
+}
+
+// Kind implements Event.
+func (StageStart) Kind() string { return "StageStart" }
+
+// StageEnd records one workflow stage finishing its work for a
+// synchronization interval, with the representative rank's cumulative
+// busy time.
+type StageEnd struct {
+	T     float64 `json:"t"`
+	Stage string  `json:"stage"`
+	Sync  int     `json:"sync"`
+	// BusyS is the emitting rank's cumulative busy (phase-execution)
+	// time so far.
+	BusyS float64 `json:"busy_s"`
+}
+
+// Kind implements Event.
+func (StageEnd) Kind() string { return "StageEnd" }
+
+// TransferVolume records the modeled data volume of one workflow-graph
+// edge at one synchronization (emitted by the producing stage's first
+// rank): the edge-wide bytes shipped and the representative rank's time
+// spent in the staging transfer phase (zero for edges without a
+// transfer model, e.g. space-shared exchanges).
+type TransferVolume struct {
+	T float64 `json:"t"`
+	// Edge names the graph edge as "from->to".
+	Edge string `json:"edge"`
+	Sync int    `json:"sync"`
+	// Bytes is the edge-wide modeled volume (per-rank bytes times
+	// producer ranks).
+	Bytes int64 `json:"bytes"`
+	// Seconds is the producing rank's transfer-phase duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Kind implements Event.
+func (TransferVolume) Kind() string { return "TransferVolume" }
+
 // envelope is the JSONL wire form: {"kind": "...", "data": {...}}.
 type envelope struct {
 	Kind string          `json:"kind"`
@@ -219,6 +268,12 @@ func Decode(line []byte) (Event, error) {
 		ev = &NodeDegraded{}
 	case "NodeRecovered":
 		ev = &NodeRecovered{}
+	case "StageStart":
+		ev = &StageStart{}
+	case "StageEnd":
+		ev = &StageEnd{}
+	case "TransferVolume":
+		ev = &TransferVolume{}
 	default:
 		return nil, fmt.Errorf("telemetry: unknown event kind %q", env.Kind)
 	}
@@ -251,6 +306,12 @@ func deref(e Event) Event {
 	case *NodeDegraded:
 		return *v
 	case *NodeRecovered:
+		return *v
+	case *StageStart:
+		return *v
+	case *StageEnd:
+		return *v
+	case *TransferVolume:
 		return *v
 	}
 	return e

@@ -21,6 +21,9 @@ var allEvents = []Event{
 	NodeKilled{T: 7, Node: 5, Role: "ana", Sync: 20, AliveSim: 4, AliveAna: 3},
 	NodeDegraded{T: 8, Node: 2, Role: "sim", Sync: 10, Factor: 2},
 	NodeRecovered{T: 9, Node: 2, Role: "sim", Sync: 25},
+	StageStart{T: 10, Stage: "filter", Sync: 3},
+	StageEnd{T: 11, Stage: "filter", Sync: 3, BusyS: 4.5},
+	TransferVolume{T: 12, Edge: "sim->ana", Sync: 3, Bytes: 4816896, Seconds: 0.049},
 }
 
 // TestEncodeDecodeRoundTrip decodes every event type back to an
@@ -84,7 +87,7 @@ func TestKindsAreUnique(t *testing.T) {
 		}
 		seen[e.Kind()] = true
 	}
-	if len(seen) != 10 {
-		t.Errorf("expected 10 event kinds, have %d", len(seen))
+	if len(seen) != 13 {
+		t.Errorf("expected 13 event kinds, have %d", len(seen))
 	}
 }

@@ -540,6 +540,33 @@ func (h *Hub) NodeRecovered(t float64, node int, role string, sync int) {
 	h.Emit(NodeRecovered{T: t, Node: node, Role: role, Sync: sync})
 }
 
+// StageStart reports a workflow stage beginning its work for one
+// synchronization interval (from the stage's first rank only).
+func (h *Hub) StageStart(t float64, stage string, sync int) {
+	if h == nil {
+		return
+	}
+	h.Emit(StageStart{T: t, Stage: stage, Sync: sync})
+}
+
+// StageEnd reports a workflow stage finishing its work for one
+// synchronization interval.
+func (h *Hub) StageEnd(t float64, stage string, sync int, busyS float64) {
+	if h == nil {
+		return
+	}
+	h.Emit(StageEnd{T: t, Stage: stage, Sync: sync, BusyS: busyS})
+}
+
+// TransferVolume reports one workflow edge's modeled data volume at a
+// synchronization (from the producing stage's first rank only).
+func (h *Hub) TransferVolume(t float64, edge string, sync int, bytes int64, seconds float64) {
+	if h == nil {
+		return
+	}
+	h.Emit(TransferVolume{T: t, Edge: edge, Sync: sync, Bytes: bytes, Seconds: seconds})
+}
+
 // JobBudget reports the machine-level scheduler assigning one job's
 // power budget.
 func (h *Hub) JobBudget(t float64, epoch int, job string, budgetW, share float64) {

@@ -1,0 +1,167 @@
+// The compiler: lay a validated Graph out on the two-partition cluster
+// substrate. Stages with RoleSimulation take the low node ids (the
+// cluster layer's convention), every rank owns one node (a half-node
+// under TimeShared), and each edge is resolved into per-rank routing
+// tables generalizing the insitu driver's sim->ana pairing.
+package workflow
+
+import (
+	"seesaw/internal/core"
+)
+
+// tagBase is the first point-to-point tag assigned to graph edges, in
+// declaration order. It deliberately matches the insitu driver's frame
+// tag so the paper benchmark compiled onto a 2-edge graph keeps its
+// historical wire protocol.
+const tagBase = 100
+
+// compiledStage is one stage with its world-rank placement resolved.
+type compiledStage struct {
+	Stage
+	// Index is the stage's layout position: simulation-role stages
+	// first, declaration order within each class. It doubles as the
+	// partition-communicator Split color.
+	Index int
+	// Start is the stage's first world rank; the stage owns
+	// [Start, Start+Ranks).
+	Start int
+	// scale is the physical-node fraction each rank owns: 1 for
+	// dedicated nodes, 0.5 when the stage time-shares (as host or
+	// guest).
+	scale float64
+	ins   []*compiledEdge
+	outs  []*compiledEdge
+}
+
+// compiledEdge is one edge with its per-rank routing resolved.
+type compiledEdge struct {
+	Edge
+	tag      int
+	from, to *compiledStage
+	// dst[p] is the consumer world rank fed by producer-local rank p
+	// (generalizing insitu's pairedAnaRank: consumer-local = p modulo
+	// consumer ranks).
+	dst []int
+	// sources[c] lists the producer world ranks feeding consumer-local
+	// rank c, ascending.
+	sources [][]int
+}
+
+// Plan is a compiled graph, ready for the engine.
+type Plan struct {
+	graph Graph
+	// NWorld is the total rank (and node) count; SimNodes/AnaNodes are
+	// the partition sizes handed to the cluster layer.
+	NWorld, SimNodes, AnaNodes int
+	// Scales is the per-node physical fraction (nil when every stage is
+	// space-shared or in-transit, i.e. all full nodes).
+	Scales []float64
+	// PhysicalNodes counts physical machines: time-shared pairs count
+	// once.
+	PhysicalNodes int
+
+	stages    []*compiledStage
+	byName    map[string]*compiledStage
+	rankStage []int
+}
+
+// Compile validates the graph and resolves its node layout and edge
+// routing.
+func Compile(g Graph) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{graph: g, byName: make(map[string]*compiledStage, len(g.Stages))}
+
+	// Layout: simulation-role stages first, then the rest, declaration
+	// order within each class.
+	for _, simPass := range []bool{true, false} {
+		for i := range g.Stages {
+			st := g.Stages[i]
+			if (st.Role == core.RoleSimulation) != simPass {
+				continue
+			}
+			cs := &compiledStage{Stage: st, Index: len(p.stages), Start: p.NWorld, scale: 1}
+			p.stages = append(p.stages, cs)
+			p.byName[st.Name] = cs
+			p.NWorld += st.Ranks
+			if simPass {
+				p.SimNodes += st.Ranks
+			} else {
+				p.AnaNodes += st.Ranks
+			}
+		}
+	}
+	p.rankStage = make([]int, p.NWorld)
+	for _, cs := range p.stages {
+		for r := cs.Start; r < cs.Start+cs.Ranks; r++ {
+			p.rankStage[r] = cs.Index
+		}
+	}
+
+	// Time-shared pairs split their physical nodes into half-node RAPL
+	// domains; everyone else owns full nodes.
+	p.PhysicalNodes = p.NWorld
+	shared := false
+	scales := make([]float64, p.NWorld)
+	for i := range scales {
+		scales[i] = 1
+	}
+	for _, cs := range p.stages {
+		if cs.Placement != TimeShared {
+			continue
+		}
+		shared = true
+		host := p.byName[cs.Host]
+		cs.scale, host.scale = 0.5, 0.5
+		for r := 0; r < cs.Ranks; r++ {
+			scales[cs.Start+r] = 0.5
+			scales[host.Start+r] = 0.5
+		}
+		p.PhysicalNodes -= cs.Ranks
+	}
+	if shared {
+		p.Scales = scales
+	}
+
+	// Edge routing. Declaration order fixes the tags, so a graph is a
+	// complete wire-protocol spec.
+	for i := range g.Edges {
+		e := g.Edges[i]
+		ce := &compiledEdge{
+			Edge: e,
+			tag:  tagBase + i,
+			from: p.byName[e.From],
+			to:   p.byName[e.To],
+		}
+		if ce.Transfer == nil && ce.to.Placement == InTransit {
+			tm := DefaultTransferModel()
+			ce.Transfer = &tm
+		}
+		ce.dst = make([]int, ce.from.Ranks)
+		ce.sources = make([][]int, ce.to.Ranks)
+		for s := 0; s < ce.from.Ranks; s++ {
+			c := s % ce.to.Ranks
+			ce.dst[s] = ce.to.Start + c
+			ce.sources[c] = append(ce.sources[c], ce.from.Start+s)
+		}
+		ce.from.outs = append(ce.from.outs, ce)
+		ce.to.ins = append(ce.to.ins, ce)
+	}
+	return p, nil
+}
+
+// StageNames returns the stage names in layout order.
+func (p *Plan) StageNames() []string {
+	names := make([]string, len(p.stages))
+	for i, cs := range p.stages {
+		names[i] = cs.Name
+	}
+	return names
+}
+
+// StageOf returns the name of the stage owning a world rank.
+func (p *Plan) StageOf(world int) string { return p.stages[p.rankStage[world]].Name }
+
+// stageFor returns the compiled stage owning a world rank.
+func (p *Plan) stageFor(world int) *compiledStage { return p.stages[p.rankStage[world]] }

@@ -1,0 +1,300 @@
+// Package workflow turns the repository's single hardwired in-situ
+// shape — one simulation partition synchronizing with one analysis
+// partition — into a declarative workflow-graph simulator. A Graph names
+// stages (with per-synchronization work models and a placement spec) and
+// edges (with modeled data volumes and optional staging-transfer costs);
+// Compile lays the graph out on the two-partition cluster substrate and
+// Run executes it rank-parallel on the virtual-time MPI runtime, with
+// every rank managed by PoLiMER so all four power policies apply
+// unchanged.
+//
+// Three placements are modeled (SIM-SITU's taxonomy):
+//
+//   - space-shared: the stage owns dedicated full nodes, synchronizing
+//     with its producers over the interconnect (the paper's setup);
+//   - time-shared: the stage's ranks are co-resident with a host
+//     stage's ranks, each pair splitting one physical node into two
+//     half-node RAPL domains, so the node's power budget is contended by
+//     both stages at every allocation;
+//   - in-transit: the stage owns dedicated nodes and its inputs arrive
+//     through an explicit staging hop — producers pay a transfer phase
+//     on the virtual clock (visible to the slack accounting) before each
+//     send.
+//
+// Multi-stage DAGs (sim -> filter -> analyses -> reduce) express
+// fan-out/fan-in synchronization: every stage allocates power at every
+// synchronization, consumers block on their producers' sends, and the
+// per-rank routing generalizes the paper's sim->ana pairing.
+package workflow
+
+import (
+	"fmt"
+	"sort"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+)
+
+// Placement says where a stage's ranks run relative to its producers.
+type Placement int
+
+const (
+	// SpaceShared gives the stage dedicated full nodes (the default and
+	// the paper's setup).
+	SpaceShared Placement = iota
+	// TimeShared co-locates the stage's ranks with the host stage's
+	// ranks: each pair shares one physical node as two half-node RAPL
+	// domains whose caps contend for the node's share of the budget.
+	TimeShared
+	// InTransit gives the stage dedicated nodes reached through a
+	// staging hop: inbound edges carry a transfer model and producers
+	// execute the transfer as a low-power phase before sending.
+	InTransit
+)
+
+// String renders the placement in the CLI/jobfile vocabulary.
+func (p Placement) String() string {
+	switch p {
+	case SpaceShared:
+		return "space-shared"
+	case TimeShared:
+		return "time-shared"
+	case InTransit:
+		return "in-transit"
+	}
+	return fmt.Sprintf("placement(%d)", int(p))
+}
+
+// PlacementNames lists the valid placement spellings.
+func PlacementNames() []string {
+	return []string{SpaceShared.String(), TimeShared.String(), InTransit.String()}
+}
+
+// ParsePlacement parses a placement name, with an error listing the
+// valid values.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "", SpaceShared.String():
+		return SpaceShared, nil
+	case TimeShared.String():
+		return TimeShared, nil
+	case InTransit.String():
+		return InTransit, nil
+	}
+	return 0, fmt.Errorf("workflow: unknown placement %q (valid: %v)", s, PlacementNames())
+}
+
+// TransferModel prices one staging hop of an in-transit edge.
+type TransferModel struct {
+	// Latency is the fixed per-transfer setup cost.
+	Latency units.Seconds
+	// SecondsPerByte is the inverse bandwidth of the staging path.
+	SecondsPerByte float64
+}
+
+// Time returns the wire duration of shipping the given volume.
+func (m TransferModel) Time(bytes int) units.Seconds {
+	return m.Latency + units.Seconds(float64(bytes)*m.SecondsPerByte)
+}
+
+// DefaultTransferModel prices the staging hop of an in-transit
+// placement: a 1 ms setup plus a 100 MB/s effective staging link (the
+// forwarding path is shared and serialized, far below the fabric's
+// point-to-point bandwidth).
+func DefaultTransferModel() TransferModel {
+	return TransferModel{Latency: 1e-3, SecondsPerByte: 1e-8}
+}
+
+// WorkModel supplies a stage's declarative per-rank work. The engine
+// asks for the phases of each synchronization interval; implementations
+// are read-only and shared across the stage's rank goroutines.
+type WorkModel interface {
+	// StepPhases returns the phases a rank executes for the Verlet steps
+	// (prevStep, syncStep], run before the synchronization's power
+	// allocation (producer-side work: integration, forces, output).
+	StepPhases(prevStep, syncStep, syncIdx int) []machine.Phase
+	// SyncPhases returns the phases run after the allocation and after
+	// the rank's inbound edges have been received (consumer-side work:
+	// rebuilds, analyses).
+	SyncPhases(syncIdx, syncStep int) []machine.Phase
+}
+
+// Stage is one node set of the workflow graph.
+type Stage struct {
+	// Name identifies the stage in edges, telemetry and results.
+	Name string
+	// Role is the stage's partition role for the power policies:
+	// RoleSimulation stages lay out first (the substrate's node-id
+	// convention) and aggregate into the policies' "sim" partition;
+	// everything else is RoleAnalysis.
+	Role core.Role
+	// Ranks is the stage's rank count (one rank per node, or per
+	// half-node under TimeShared).
+	Ranks int
+	// Placement says where the ranks run; SpaceShared if zero.
+	Placement Placement
+	// Host names the stage this one time-shares nodes with; required
+	// (and only meaningful) when Placement is TimeShared, and the host
+	// must have the same rank count.
+	Host string
+	// Work is the stage's declarative work model, used by the generic
+	// per-rank program. Nil means the stage only synchronizes and moves
+	// data.
+	Work WorkModel
+	// Body, when non-nil, replaces the generic program with a custom
+	// per-rank body (the insitu driver's real-MD/real-analysis loops).
+	// The engine still owns node construction, PoLiMER setup, placement
+	// and result aggregation.
+	Body func(rc *RankCtx)
+}
+
+// Edge is one producer-to-consumer data dependency.
+type Edge struct {
+	// From and To name the producer and consumer stages.
+	From, To string
+	// BytesPerRank is the modeled volume each producer rank ships per
+	// synchronization.
+	BytesPerRank int
+	// Transfer, when non-nil, prices the edge as a staging hop: each
+	// producer rank executes a transfer phase of Transfer.Time(bytes)
+	// before sending. Compile fills it with DefaultTransferModel for
+	// edges into an InTransit stage.
+	Transfer *TransferModel
+}
+
+// Graph is a declarative workflow: stages plus the data edges between
+// them. It must be acyclic; fan-out (several edges from one stage) and
+// fan-in (several edges into one stage) express DAG synchronization.
+type Graph struct {
+	// Name labels the graph in errors and telemetry.
+	Name   string
+	Stages []Stage
+	Edges  []Edge
+}
+
+// Validate checks the graph's structural invariants with descriptive
+// errors; Compile calls it first.
+func (g Graph) Validate() error {
+	if len(g.Stages) == 0 {
+		return fmt.Errorf("workflow: graph %q has no stages", g.Name)
+	}
+	byName := make(map[string]*Stage, len(g.Stages))
+	var simRanks, anaRanks int
+	for i := range g.Stages {
+		st := &g.Stages[i]
+		if st.Name == "" {
+			return fmt.Errorf("workflow: graph %q: stage %d has no name", g.Name, i)
+		}
+		if _, dup := byName[st.Name]; dup {
+			return fmt.Errorf("workflow: graph %q: duplicate stage %q", g.Name, st.Name)
+		}
+		byName[st.Name] = st
+		if st.Ranks <= 0 {
+			return fmt.Errorf("workflow: stage %q needs positive ranks, got %d", st.Name, st.Ranks)
+		}
+		switch st.Placement {
+		case SpaceShared, InTransit:
+			if st.Host != "" {
+				return fmt.Errorf("workflow: stage %q is %s but names host %q (hosts apply to time-shared stages only)",
+					st.Name, st.Placement, st.Host)
+			}
+		case TimeShared:
+			if st.Host == "" {
+				return fmt.Errorf("workflow: time-shared stage %q needs a host stage", st.Name)
+			}
+		default:
+			return fmt.Errorf("workflow: stage %q has unknown placement %v (valid: %v)",
+				st.Name, st.Placement, PlacementNames())
+		}
+		if st.Role == core.RoleSimulation {
+			simRanks += st.Ranks
+		} else {
+			anaRanks += st.Ranks
+		}
+	}
+	if simRanks == 0 || anaRanks == 0 {
+		return fmt.Errorf("workflow: graph %q needs at least one simulation-role and one analysis-role stage (have %d sim, %d analysis ranks)",
+			g.Name, simRanks, anaRanks)
+	}
+	hostOf := map[string]string{} // host name -> guest name
+	for _, st := range g.Stages {
+		if st.Placement != TimeShared {
+			continue
+		}
+		host, ok := byName[st.Host]
+		if !ok {
+			return fmt.Errorf("workflow: time-shared stage %q names unknown host %q", st.Name, st.Host)
+		}
+		if host.Name == st.Name {
+			return fmt.Errorf("workflow: time-shared stage %q cannot host itself", st.Name)
+		}
+		if host.Placement == TimeShared {
+			return fmt.Errorf("workflow: stage %q time-shares with %q, which is itself time-shared", st.Name, st.Host)
+		}
+		if host.Ranks != st.Ranks {
+			return fmt.Errorf("workflow: time-shared stage %q has %d ranks but host %q has %d (co-residency is pairwise)",
+				st.Name, st.Ranks, st.Host, host.Ranks)
+		}
+		if prev, taken := hostOf[st.Host]; taken {
+			return fmt.Errorf("workflow: stages %q and %q both time-share host %q (one guest per node)", prev, st.Name, st.Host)
+		}
+		hostOf[st.Host] = st.Name
+	}
+	for i, e := range g.Edges {
+		if _, ok := byName[e.From]; !ok {
+			return fmt.Errorf("workflow: edge %d references unknown stage %q", i, e.From)
+		}
+		if _, ok := byName[e.To]; !ok {
+			return fmt.Errorf("workflow: edge %d references unknown stage %q", i, e.To)
+		}
+		if e.From == e.To {
+			return fmt.Errorf("workflow: edge %d is a self-loop on stage %q", i, e.From)
+		}
+		if e.BytesPerRank < 0 {
+			return fmt.Errorf("workflow: edge %d (%s->%s) has negative bytes", i, e.From, e.To)
+		}
+	}
+	return g.checkAcyclic()
+}
+
+// checkAcyclic rejects dependency cycles via Kahn's algorithm.
+func (g Graph) checkAcyclic() error {
+	indeg := make(map[string]int, len(g.Stages))
+	out := make(map[string][]string, len(g.Stages))
+	for _, st := range g.Stages {
+		indeg[st.Name] = 0
+	}
+	for _, e := range g.Edges {
+		out[e.From] = append(out[e.From], e.To)
+		indeg[e.To]++
+	}
+	var ready []string
+	for _, st := range g.Stages {
+		if indeg[st.Name] == 0 {
+			ready = append(ready, st.Name)
+		}
+	}
+	done := 0
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		done++
+		for _, m := range out[n] {
+			if indeg[m]--; indeg[m] == 0 {
+				ready = append(ready, m)
+			}
+		}
+	}
+	if done != len(g.Stages) {
+		var cyc []string
+		for name, d := range indeg {
+			if d > 0 {
+				cyc = append(cyc, name)
+			}
+		}
+		sort.Strings(cyc)
+		return fmt.Errorf("workflow: graph %q has a dependency cycle through %v", g.Name, cyc)
+	}
+	return nil
+}

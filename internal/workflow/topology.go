@@ -1,0 +1,239 @@
+// Built-in workflow topologies: the named graphs the CLI and the bench
+// campaigns compare. Each builder places the paper's LAMMPS + analysis
+// workload (package workload's calibrated phase model) on the same
+// physical machine under a different coupling:
+//
+//   - space-shared: the paper's setup — half the nodes simulate, half
+//     analyze, synchronizing over the interconnect;
+//   - time-shared: every node runs a simulation rank and an analysis
+//     rank as two half-node RAPL domains, so twice the ranks contend for
+//     the same machine and budget;
+//   - in-transit: like space-shared, but frames reach the analysis
+//     partition through a staging hop the producers pay for on the
+//     virtual clock;
+//   - dag: a multi-stage pipeline (sim -> filter -> {rdf, msd1d} ->
+//     reduce) with fan-out and fan-in synchronization.
+package workflow
+
+import (
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// Topology is a built graph plus the knobs a driver needs to run it on
+// a fixed physical machine.
+type Topology struct {
+	Graph Graph
+	// ConstraintScale is the factor the per-node cap range must be
+	// multiplied by (0.5 when ranks own half-node domains, else 1). The
+	// budget is not scaled: it belongs to the physical machine.
+	ConstraintScale float64
+	// PhysicalNodes counts physical machines (time-shared pairs count
+	// once).
+	PhysicalNodes int
+}
+
+// ScaleCaps adapts full-node constraints to this topology's power
+// domains: the cap range scales with the domain fraction, the global
+// budget stays the machine's.
+func (t Topology) ScaleCaps(c core.Constraints) core.Constraints {
+	if t.ConstraintScale != 1 {
+		c.MinCap = units.Watts(float64(c.MinCap) * t.ConstraintScale)
+		c.MaxCap = units.Watts(float64(c.MaxCap) * t.ConstraintScale)
+	}
+	return c
+}
+
+// Params parameterize the built-in topologies.
+type Params struct {
+	// Nodes is the physical machine size.
+	Nodes int
+	// Dim is the problem-size knob (total atoms = 1568 * dim^3).
+	Dim int
+	// J is the default synchronization interval; Steps the total Verlet
+	// steps.
+	J, Steps int
+	// Analyses lists the analysis tasks (Tasks("rdf", "msd1d") etc.);
+	// the dag topology runs its fixed rdf/msd1d pipeline regardless.
+	Analyses []workload.AnalysisTask
+}
+
+// TopologyNames lists the built-in topology names.
+func TopologyNames() []string {
+	return []string{"space-shared", "time-shared", "in-transit", "dag"}
+}
+
+// frameBytes is the per-producer-rank frame volume: positions and
+// velocities, 6 float64 per atom, for the rank's share of the atoms.
+func frameBytes(dim, simRanks int) int {
+	atoms := 1568 * dim * dim * dim
+	return atoms / simRanks * 48
+}
+
+// Build constructs a named topology on the given physical machine.
+func Build(name string, p Params) (Topology, error) {
+	if p.Nodes < 2 || p.Nodes%2 != 0 {
+		return Topology{}, fmt.Errorf("workflow: topology %q needs an even node count >= 2, got %d", name, p.Nodes)
+	}
+	if len(p.Analyses) == 0 {
+		p.Analyses = workload.Tasks("rdf", "msd1d")
+	}
+	switch name {
+	case "space-shared":
+		return pairedTopology(p, SpaceShared), nil
+	case "time-shared":
+		return timeSharedTopology(p), nil
+	case "in-transit":
+		return pairedTopology(p, InTransit), nil
+	case "dag":
+		return dagTopology(p)
+	}
+	return Topology{}, fmt.Errorf("workflow: unknown topology %q (valid: %v)", name, TopologyNames())
+}
+
+// pairedTopology is the paper's two-partition shape: half the machine
+// simulates, half analyzes, with the analysis partition either directly
+// coupled (space-shared) or behind a staging hop (in-transit).
+func pairedTopology(p Params, pl Placement) Topology {
+	half := p.Nodes / 2
+	spec := workload.Spec{
+		SimNodes: half, AnaNodes: half,
+		Dim: p.Dim, J: p.J, Steps: p.Steps, Analyses: p.Analyses,
+	}
+	return Topology{
+		Graph: Graph{
+			Name: "space-shared",
+			Stages: []Stage{
+				{Name: "sim", Role: core.RoleSimulation, Ranks: half, Work: simWork{spec}},
+				{Name: "ana", Role: core.RoleAnalysis, Ranks: half, Placement: pl, Work: anaWork{spec}},
+			},
+			Edges: []Edge{
+				{From: "sim", To: "ana", BytesPerRank: frameBytes(p.Dim, half)},
+			},
+		},
+		ConstraintScale: 1,
+		PhysicalNodes:   p.Nodes,
+	}
+}
+
+// timeSharedTopology co-locates one analysis rank with each simulation
+// rank: every physical node splits into two half-node domains whose
+// caps contend for the node's share of the budget. The domain split
+// spreads both the simulation and the analysis over all Nodes ranks, so
+// per-rank work halves relative to the paired shape while the machine
+// stays the same.
+func timeSharedTopology(p Params) Topology {
+	spec := workload.Spec{
+		SimNodes: p.Nodes, AnaNodes: p.Nodes,
+		Dim: p.Dim, J: p.J, Steps: p.Steps, Analyses: p.Analyses,
+	}
+	return Topology{
+		Graph: Graph{
+			Name: "time-shared",
+			Stages: []Stage{
+				{Name: "sim", Role: core.RoleSimulation, Ranks: p.Nodes, Work: simWork{spec}},
+				{Name: "ana", Role: core.RoleAnalysis, Ranks: p.Nodes,
+					Placement: TimeShared, Host: "sim", Work: anaWork{spec}},
+			},
+			Edges: []Edge{
+				{From: "sim", To: "ana", BytesPerRank: frameBytes(p.Dim, p.Nodes)},
+			},
+		},
+		ConstraintScale: 0.5,
+		PhysicalNodes:   p.Nodes,
+	}
+}
+
+// dagTopology is the multi-stage pipeline: the simulation fans out
+// through a filter stage to two analyses that fan back into a reduce
+// stage. Stage sizes follow a fixed 8-node template (4 sim : 1 filter :
+// 1 rdf : 1 msd1d : 1 reduce).
+func dagTopology(p Params) (Topology, error) {
+	if p.Nodes < 8 || p.Nodes%8 != 0 {
+		return Topology{}, fmt.Errorf("workflow: topology \"dag\" needs a node count divisible by 8, got %d", p.Nodes)
+	}
+	g := p.Nodes / 8
+	half := p.Nodes / 2
+	simSpec := workload.Spec{
+		SimNodes: half, AnaNodes: half,
+		Dim: p.Dim, J: p.J, Steps: p.Steps, Analyses: p.Analyses,
+	}
+	// The filter halves the frame before the analyses see it, so each
+	// analysis stage models its kernel over half the atoms spread across
+	// its g ranks (SimNodes = 2g makes workload's per-rank work factor
+	// come out to (atoms/2)/g).
+	rdfSpec := workload.Spec{
+		SimNodes: 2 * g, AnaNodes: g,
+		Dim: p.Dim, J: p.J, Steps: p.Steps, Analyses: workload.Tasks("rdf"),
+	}
+	msdSpec := workload.Spec{
+		SimNodes: 2 * g, AnaNodes: g,
+		Dim: p.Dim, J: p.J, Steps: p.Steps, Analyses: workload.Tasks("msd1d"),
+	}
+	atoms := 1568 * p.Dim * p.Dim * p.Dim
+	filterPhase := machine.Phase{
+		Name:        "filter",
+		Nominal:     units.Seconds(float64(atoms/g) * 2.0e-7),
+		Demand:      130,
+		Saturation:  135,
+		Sensitivity: 0.60,
+	}
+	reducePhase := machine.Phase{
+		Name:        "reduce",
+		Nominal:     0.2,
+		Demand:      115,
+		Saturation:  112,
+		Sensitivity: 0.20,
+	}
+	fb := frameBytes(p.Dim, half)
+	return Topology{
+		Graph: Graph{
+			Name: "dag",
+			Stages: []Stage{
+				{Name: "sim", Role: core.RoleSimulation, Ranks: half, Work: simWork{simSpec}},
+				{Name: "filter", Role: core.RoleAnalysis, Ranks: g, Work: staticWork{[]machine.Phase{filterPhase}}},
+				{Name: "rdf", Role: core.RoleAnalysis, Ranks: g, Work: anaWork{rdfSpec}},
+				{Name: "msd1d", Role: core.RoleAnalysis, Ranks: g, Work: anaWork{msdSpec}},
+				{Name: "reduce", Role: core.RoleAnalysis, Ranks: g, Work: staticWork{[]machine.Phase{reducePhase}}},
+			},
+			Edges: []Edge{
+				{From: "sim", To: "filter", BytesPerRank: fb},
+				{From: "filter", To: "rdf", BytesPerRank: atoms * 48 / 2 / g},
+				{From: "filter", To: "msd1d", BytesPerRank: atoms * 48 / 2 / g},
+				{From: "rdf", To: "reduce", BytesPerRank: 65536},
+				{From: "msd1d", To: "reduce", BytesPerRank: 65536},
+			},
+		},
+		ConstraintScale: 1,
+		PhysicalNodes:   p.Nodes,
+	}, nil
+}
+
+// simWork adapts workload.Spec's simulation side to the WorkModel
+// interface: all work runs before the synchronization.
+type simWork struct{ spec workload.Spec }
+
+func (w simWork) StepPhases(prevStep, syncStep, syncIdx int) []machine.Phase {
+	return w.spec.SimIntervalIdx(prevStep, syncStep, syncIdx)
+}
+func (w simWork) SyncPhases(syncIdx, syncStep int) []machine.Phase { return nil }
+
+// anaWork adapts the analysis side: all work runs after the inbound
+// frames arrive.
+type anaWork struct{ spec workload.Spec }
+
+func (w anaWork) StepPhases(prevStep, syncStep, syncIdx int) []machine.Phase { return nil }
+func (w anaWork) SyncPhases(syncIdx, syncStep int) []machine.Phase {
+	return w.spec.AnaInterval(syncStep)
+}
+
+// staticWork runs the same fixed phases after every synchronization's
+// receives (filter/reduce stages).
+type staticWork struct{ phases []machine.Phase }
+
+func (w staticWork) StepPhases(prevStep, syncStep, syncIdx int) []machine.Phase { return nil }
+func (w staticWork) SyncPhases(syncIdx, syncStep int) []machine.Phase           { return w.phases }
