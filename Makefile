@@ -52,6 +52,7 @@ bench-scale:
 	$(GO) test -run xxx -bench . -benchtime 2s ./internal/mpi/
 	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x -count 3 ./internal/insitu/
 	$(GO) test -run xxx -bench BenchmarkTopologies -benchtime 1x -count 3 ./internal/workflow/
+	$(GO) test -run xxx -bench BenchmarkRollouts -benchtime 2s ./internal/rollout/
 	$(GO) test -run xxx -bench . -benchtime 1s -cpu 1,4,8 ./internal/telemetry/
 
 # bench-scale-profile repeats the measurement run with CPU and heap
@@ -64,6 +65,8 @@ bench-scale-profile:
 		-cpuprofile insitu.cpu.out -memprofile insitu.mem.out ./internal/insitu/
 	$(GO) test -run xxx -bench BenchmarkTopologies -benchtime 1x \
 		-cpuprofile workflow.cpu.out -memprofile workflow.mem.out ./internal/workflow/
+	$(GO) test -run xxx -bench BenchmarkRollouts -benchtime 1x \
+		-cpuprofile rollout.cpu.out -memprofile rollout.mem.out ./internal/rollout/
 	$(GO) test -run xxx -bench . -benchtime 0.3s -cpu 4 \
 		-cpuprofile telemetry.cpu.out -memprofile telemetry.mem.out ./internal/telemetry/
 
@@ -75,6 +78,7 @@ bench-scale-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/mpi/
 	$(GO) test -run xxx -bench 'BenchmarkInsituScale/nodes=256' -benchtime 1x ./internal/insitu/
 	$(GO) test -run xxx -bench 'BenchmarkTopologies/nodes=256' -benchtime 1x ./internal/workflow/
+	$(GO) test -run xxx -bench 'BenchmarkRollouts/nodes=256' -benchtime 1x ./internal/rollout/
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/telemetry/
 
 clean:

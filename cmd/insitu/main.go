@@ -40,16 +40,16 @@ import (
 	"runtime/pprof"
 	"strings"
 
-	"seesaw/internal/bench"
 	"seesaw/internal/core"
 	"seesaw/internal/fault"
 	"seesaw/internal/insitu"
+	"seesaw/internal/policy"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
 )
 
 func main() {
-	policyName := flag.String("policy", "seesaw", "static, seesaw, power-aware or time-aware")
+	policyName := flag.String("policy", "seesaw", "power policy: "+strings.Join(policy.Names(), ", "))
 	analyses := flag.String("analyses", "msd", "comma-separated analyses (rdf,vacf,msd,msd1d,msd2d)")
 	simRanks := flag.Int("sim", 2, "simulation ranks (one per node)")
 	anaRanks := flag.Int("ana", 2, "analysis ranks (one per node)")
@@ -102,7 +102,7 @@ func main() {
 		MinCap: 98,
 		MaxCap: 215,
 	}
-	policy, err := bench.NewPolicy(*policyName, cons, *w)
+	pol, err := policy.New(*policyName, cons, *w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func main() {
 		Steps:       *steps,
 		SyncEvery:   *j,
 		Analyses:    strings.Split(*analyses, ","),
-		Policy:      policy,
+		Policy:      pol,
 		Constraints: cons,
 		Seed:        *seed,
 		Faults:      plan,

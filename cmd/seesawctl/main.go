@@ -10,6 +10,8 @@
 //	seesawctl trace [flags]        # per-synchronization CSV of one policy cell
 //	seesawctl job <file.json>      # run a JSON-described job (see internal/jobfile)
 //	seesawctl serve [flags]        # run an experiment loop and serve live metrics over HTTP
+//	seesawctl policies             # list the registered power policies
+//	seesawctl search [flags]       # batched policy search over a rollout grid
 //
 // Flags:
 //
@@ -45,6 +47,7 @@ import (
 	"seesaw/internal/fault"
 	"seesaw/internal/jobfile"
 	"seesaw/internal/machine"
+	"seesaw/internal/policy"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workflow"
@@ -182,6 +185,12 @@ func run(ctx context.Context, args []string) int {
 		return runJob(ctx, args[1:])
 	case "serve":
 		return runServe(ctx, args[1:])
+	case "policies":
+		for _, info := range policy.Infos() {
+			fmt.Printf("%-12s %s\n", info.Name, info.Description)
+		}
+	case "search":
+		return runSearch(ctx, args[1:])
 	default:
 		usage()
 		return 2
@@ -267,7 +276,7 @@ func runJob(ctx context.Context, args []string) int {
 // CSV — the raw data behind the Figure 4 and Figure 5 plots.
 func runTrace(ctx context.Context, args []string) int {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	policy := fs.String("policy", "seesaw", "static, seesaw, power-aware or time-aware")
+	policyName := fs.String("policy", "seesaw", "power policy: "+strings.Join(policy.Names(), ", "))
 	analyses := fs.String("analyses", "msd", "comma-separated analyses, or 'all'")
 	nodes := fs.Int("nodes", 128, "total nodes (split evenly)")
 	dim := fs.Int("dim", 16, "problem size")
@@ -305,7 +314,7 @@ func runTrace(ctx context.Context, args []string) int {
 		cons := topo.ScaleCaps(core.Constraints{
 			Budget: units.Watts(*capPer) * units.Watts(topo.PhysicalNodes), MinCap: 98, MaxCap: 215,
 		})
-		pol, perr := bench.NewPolicy(*policy, cons, *w)
+		pol, perr := policy.New(*policyName, cons, *w)
 		if perr != nil {
 			return fail(ctx, perr)
 		}
@@ -328,12 +337,12 @@ func runTrace(ctx context.Context, args []string) int {
 			return fail(ctx, err)
 		}
 		fmt.Fprintf(os.Stderr, "seesawctl trace: %s on %d nodes (%s), total %.1f s, mean slack %.2f%%, transfer %.1f s\n",
-			*policy, *nodes, *topology, float64(res.MainLoopTime),
+			*policyName, *nodes, *topology, float64(res.MainLoopTime),
 			res.SyncLog.MeanSlackFrom(10)*100, float64(res.TransferSeconds))
 		return 0
 	}
 	cons := core.Constraints{Budget: units.Watts(*capPer) * units.Watts(*nodes), MinCap: 98, MaxCap: 215}
-	pol, perr := bench.NewPolicy(*policy, cons, *w)
+	pol, perr := policy.New(*policyName, cons, *w)
 	if perr != nil {
 		return fail(ctx, perr)
 	}
@@ -358,7 +367,7 @@ func runTrace(ctx context.Context, args []string) int {
 		return fail(ctx, err)
 	}
 	fmt.Fprintf(os.Stderr, "seesawctl trace: %s on %d nodes, total %.1f s, mean slack %.2f%%\n",
-		*policy, *nodes, float64(res.TotalTime), res.SyncLog.MeanSlackFrom(10)*100)
+		*policyName, *nodes, float64(res.TotalTime), res.SyncLog.MeanSlackFrom(10)*100)
 	return 0
 }
 
@@ -403,6 +412,8 @@ usage:
   seesawctl job [-csv] [-telemetry FILE] <job.json>
   seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N] [-jobs N]
   seesawctl selftest [-seed N] [-jobs N]   # verify the paper's headline invariants
+  seesawctl policies                       # registered power policies with descriptions
+  seesawctl search [-nodes N,..] [-budgets W,..] [-w W,..] [-dims D,..] [-faults P,..] [-topologies T,..] [-policies P,..] [-jobs N]
 
 -topology (and the job file's "topology" key) selects the workflow
 placement: space-shared (default), time-shared, in-transit or dag. Any
@@ -414,5 +425,9 @@ byte-identical at any -jobs value. Ctrl-C cancels cleanly: partial
 output is flushed and the exit status is non-zero.
 
 serve exposes Prometheus metrics at /metrics and a JSON snapshot at
-/debug/telemetry while looping the selected experiment.`)
+/debug/telemetry while looping the selected experiment.
+
+search fans the cross product of its comma-separated axes across the
+campaign worker pool — one rollout per (scenario, policy) — and names
+the fastest policy per scenario (see internal/rollout).`)
 }

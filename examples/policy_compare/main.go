@@ -34,7 +34,7 @@ func main() {
 		"policy", "runtime (s)", "vs static", "mean slack", "final sim/ana caps (W)")
 
 	var staticTime units.Seconds
-	for _, name := range []string{"static", "seesaw", "time-aware", "power-aware"} {
+	for _, name := range append([]string{"static"}, bench.PolicyNames()...) {
 		policy, err := bench.NewPolicy(name, cons, 1)
 		if err != nil {
 			log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"seesaw/internal/cosim"
 	"seesaw/internal/fault"
 	"seesaw/internal/machine"
+	"seesaw/internal/policy"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
@@ -136,6 +137,7 @@ func Families() []Family {
 		{Name: "extensions", Description: "beyond-paper extensions: alternative schedulers and inter-partition power shifting"},
 		{Name: "faults", Description: "node kills and slowdown excursions mid-run: policy re-convergence and survivor accounting"},
 		{Name: "topologies", Description: "the four policies across space-shared, time-shared, in-transit and DAG workflow placements"},
+		{Name: "search", Description: "batched policy search through the rollout environment: fixed policies vs a per-window bandit"},
 	}
 	idx := map[string]int{}
 	for i, f := range fams {
@@ -152,6 +154,8 @@ func Families() []Family {
 			f = "faults"
 		case id == "topologies":
 			f = "topologies"
+		case id == "search":
+			f = "search"
 		}
 		fams[idx[f]].IDs = append(fams[idx[f]].IDs, id)
 	}
@@ -180,29 +184,17 @@ func constraintsFor(n int, capPerNode units.Watts) core.Constraints {
 	return core.Constraints{Budget: capPerNode * units.Watts(n), MinCap: minCap, MaxCap: maxCap}
 }
 
-// NewPolicy constructs a policy by name: "static", "seesaw",
-// "power-aware", "time-aware". Window w applies where the paper says it
-// does (SeeSAw and the power-aware scheme; the time-aware one ignores
-// it).
+// NewPolicy resolves a policy name through the process-wide registry
+// (internal/policy). Window w applies where the paper says it does
+// (SeeSAw and the power-aware scheme; the time-aware one ignores it) and
+// is validated once by the registry.
 func NewPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
-	switch name {
-	case "static":
-		return core.NewStatic(), nil
-	case "seesaw":
-		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
-	case "power-aware":
-		cfg := core.DefaultPowerAwareConfig(cons)
-		cfg.Window = w
-		return core.NewPowerAware(cfg)
-	case "time-aware":
-		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
-	default:
-		return nil, fmt.Errorf("bench: unknown policy %q", name)
-	}
+	return policy.New(name, cons, w)
 }
 
-// PolicyNames lists the comparable policies in paper order.
-func PolicyNames() []string { return []string{"seesaw", "time-aware", "power-aware"} }
+// PolicyNames lists the comparable policies in paper order (from the
+// registry's one copy of that ordering).
+func PolicyNames() []string { return policy.Compared() }
 
 // cell describes one co-simulated job cell.
 type cell struct {

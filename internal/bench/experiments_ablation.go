@@ -290,7 +290,7 @@ func runAblExplore(ctx context.Context, o Options, w io.Writer) error {
 func runAblTransient(ctx context.Context, o Options, w io.Writer) error {
 	steps := o.steps(defaultSteps)
 	cons := constraintsFor(2*nodes128Half, defaultCap)
-	names := []string{"seesaw", "time-aware", "power-aware"}
+	names := PolicyNames()
 	variants := []bool{false, true}
 
 	specFor := func(noTransient bool) workload.Spec {

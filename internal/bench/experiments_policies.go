@@ -141,7 +141,7 @@ func runFig4(ctx context.Context, o Options, w io.Writer) error {
 	steps := o.steps(defaultSteps)
 	spec := spec128(defaultDim, 1, steps, workload.Tasks("msd"))
 
-	policies := []string{"seesaw", "time-aware", "power-aware"}
+	policies := PolicyNames()
 	e := newEnum("fig4")
 	resCell := func(p string) func() *cosim.Result {
 		return addCell(e, p, o.BaseSeed+41, func(ctx context.Context) (*cosim.Result, error) {

@@ -140,6 +140,32 @@ func TestTopologiesByteIdenticalAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestSearchByteIdenticalAcrossJobs pins determinism for the rollout
+// path: the search experiment fans every (scenario, policy) point over
+// rollout.Batch, where each episode runs on its own Env goroutine pair
+// — the channel rendezvous must not leak scheduling into the ranking.
+func TestSearchByteIdenticalAcrossJobs(t *testing.T) {
+	e, ok := Get("search")
+	if !ok {
+		t.Fatal("search experiment not registered")
+	}
+	render := func(jobs int) []byte {
+		t.Helper()
+		o := fastOptions()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := e.Run(context.Background(), o, &buf); err != nil {
+			t.Fatalf("search(jobs=%d): %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("search reports differ between jobs=1 and jobs=8:\n%s\n---\n%s", seq, par)
+	}
+}
+
 // TestReportMatchesSeedGolden pins the full experiment report to the
 // bytes the seed runtime produced (testdata/report_golden.md, captured
 // before the sharded-rendezvous rewrite of internal/mpi). Virtual-time

@@ -6,25 +6,19 @@ import (
 
 	"seesaw/internal/core"
 	"seesaw/internal/machine"
+	"seesaw/internal/policy"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
 
-// policyFor builds a fresh policy by name for the experiment cells.
+// policyFor builds a fresh policy by name for the experiment cells,
+// through the registry (the one copy of the name → constructor map).
 func policyFor(name string, cons core.Constraints, w int) core.Policy {
-	switch name {
-	case "static":
-		return core.NewStatic()
-	case "seesaw":
-		return core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
-	case "power-aware":
-		cfg := core.DefaultPowerAwareConfig(cons)
-		cfg.Window = w
-		return core.MustNewPowerAware(cfg)
-	case "time-aware":
-		return core.MustNewTimeAware(core.DefaultTimeAwareConfig(cons))
+	p, err := policy.New(name, cons, w)
+	if err != nil {
+		panic(err)
 	}
-	panic("unknown policy " + name)
+	return p
 }
 
 func TestSmokePoliciesAt128Nodes(t *testing.T) {

@@ -31,6 +31,7 @@ import (
 	"seesaw/internal/cosim"
 	"seesaw/internal/fault"
 	"seesaw/internal/machine"
+	"seesaw/internal/policy"
 	"seesaw/internal/units"
 	"seesaw/internal/workflow"
 	"seesaw/internal/workload"
@@ -147,10 +148,8 @@ func (j *Job) Validate() error {
 	default:
 		return fmt.Errorf("jobfile: unknown cap_mode %q", j.CapMode)
 	}
-	switch j.Policy {
-	case "", "static", "seesaw", "power-aware", "time-aware":
-	default:
-		return fmt.Errorf("jobfile: unknown policy %q", j.Policy)
+	if j.Policy != "" && !policy.Valid(j.Policy) {
+		return fmt.Errorf("jobfile: unknown policy %q (valid: %s)", j.Policy, strings.Join(policy.Names(), ", "))
 	}
 	if _, err := fault.Parse(j.Faults); err != nil {
 		return fmt.Errorf("jobfile: %w", err)
@@ -349,21 +348,9 @@ func (j *Job) BuildWorkflow() (workflow.Config, error) {
 	}, nil
 }
 
-// buildPolicy mirrors bench.NewPolicy (jobfile sits below the experiment
-// layer).
+// buildPolicy resolves the name through the process-wide registry
+// (jobfile sits below the experiment layer, so it goes to the registry
+// directly rather than through bench.NewPolicy).
 func buildPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
-	switch name {
-	case "static":
-		return core.NewStatic(), nil
-	case "seesaw":
-		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
-	case "power-aware":
-		cfg := core.DefaultPowerAwareConfig(cons)
-		cfg.Window = w
-		return core.NewPowerAware(cfg)
-	case "time-aware":
-		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
-	default:
-		return nil, fmt.Errorf("jobfile: unknown policy %q", name)
-	}
+	return policy.New(name, cons, w)
 }

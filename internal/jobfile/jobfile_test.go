@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"seesaw/internal/cosim"
+	"seesaw/internal/policy"
 	"seesaw/internal/workflow"
 )
 
@@ -127,6 +128,22 @@ func TestValidateErrors(t *testing.T) {
 		if _, err := Load(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d should fail validation", i)
 		}
+	}
+}
+
+// TestUnknownPolicyErrorListsRegistry pins the policy error text to the
+// registry: the valid-name list in the message is policy.Names(), not a
+// hand-maintained copy, so a newly registered policy is automatically
+// accepted and advertised.
+func TestUnknownPolicyErrorListsRegistry(t *testing.T) {
+	_, err := Load(strings.NewReader(
+		`{"nodes": 8, "dim": 16, "steps": 10, "analyses": [{"name":"msd"}], "policy": "weird"}`))
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	want := fmt.Sprintf("jobfile: unknown policy %q (valid: %s)", "weird", strings.Join(policy.Names(), ", "))
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
 	}
 }
 

@@ -1,0 +1,29 @@
+// Registration of the four hand-written core allocators. The policies
+// themselves live in internal/core (they are the paper's subject
+// matter); this file is their single binding to names.
+package policy
+
+import (
+	"seesaw/internal/core"
+)
+
+func init() {
+	Register("static", "even split of the budget once, never moved (the paper's baseline)",
+		func(cons core.Constraints, w int) (core.Policy, error) {
+			return core.NewStatic(), nil
+		})
+	Register("seesaw", "energy-feedback balancing of the partitions' sync times (the paper's contribution, Section IV)",
+		func(cons core.Constraints, w int) (core.Policy, error) {
+			return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
+		})
+	Register("power-aware", "SLURM-style: shift excess power from under-cap nodes to nodes at their cap",
+		func(cons core.Constraints, w int) (core.Policy, error) {
+			cfg := core.DefaultPowerAwareConfig(cons)
+			cfg.Window = w
+			return core.NewPowerAware(cfg)
+		})
+	Register("time-aware", "GEOPM-style power balancer: move power from faster to slower nodes with a decaying step",
+		func(cons core.Constraints, w int) (core.Policy, error) {
+			return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
+		})
+}

@@ -1,0 +1,165 @@
+// Package policy is the process-wide allocator registry: the single
+// place that maps policy names to constructors. The four hand-written
+// core allocators (static, seesaw, power-aware, time-aware) and the
+// search-derived bandit self-register at init; out-of-tree allocators
+// plug in the same way:
+//
+//	func init() {
+//		policy.Register("mine", "one-line description",
+//			func(cons core.Constraints, w int) (core.Policy, error) {
+//				return newMine(cons, w), nil
+//			})
+//	}
+//
+// Every layer that resolves a policy name — the experiment harness
+// (internal/bench), job files (internal/jobfile), the machine scheduler
+// (internal/sched) and the command-line tools — goes through New, so
+// "valid policy" has exactly one definition and error messages can never
+// drift from the registry. The reallocation window w is validated here,
+// once: every factory receives w >= 1, including policies that ignore it
+// (time-aware, static), so `-w 0` fails identically for all of them
+// instead of being silently accepted by the window-less ones.
+package policy
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"seesaw/internal/core"
+)
+
+// Factory constructs one policy instance from the shared knobs every
+// caller has: the job's constraints (budget and cap range) and the
+// reallocation window w. New guarantees w >= 1 before any factory runs.
+type Factory func(cons core.Constraints, w int) (core.Policy, error)
+
+// Info describes one registered policy for listings
+// (seesawctl policies).
+type Info struct {
+	// Name is the registry key ("seesaw", "bandit", ...).
+	Name string
+	// Description is a one-line summary of the allocation strategy.
+	Description string
+}
+
+// entry is one registration, with the Register call site kept so a
+// duplicate registration can name both offenders.
+type entry struct {
+	info    Info
+	factory Factory
+	site    string
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]entry{}
+)
+
+// callerSite formats the caller's file:line for registration tracking.
+func callerSite(skip int) string {
+	_, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return "unknown"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// Register adds a policy constructor under name. It is intended to be
+// called from init functions; registering a name twice panics with both
+// registrations' call sites, since a silent overwrite would let two
+// packages fight over a name without anyone noticing.
+func Register(name, description string, f Factory) {
+	if name == "" {
+		panic("policy: Register with empty name at " + callerSite(1))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("policy: Register(%q) with nil factory at %s", name, callerSite(1)))
+	}
+	site := callerSite(1)
+	mu.Lock()
+	defer mu.Unlock()
+	if prev, dup := registry[name]; dup {
+		panic(fmt.Sprintf("policy: duplicate registration of %q (first at %s, again at %s)",
+			name, prev.site, site))
+	}
+	registry[name] = entry{
+		info:    Info{Name: name, Description: description},
+		factory: f,
+		site:    site,
+	}
+}
+
+// UnknownPolicyError reports a name the registry does not know, carrying
+// the valid names so callers can render a helpful message (and tests can
+// pin that every layer's message comes from the registry).
+type UnknownPolicyError struct {
+	// Name is the unknown policy name.
+	Name string
+	// Valid lists the registered names, sorted.
+	Valid []string
+}
+
+// Error implements error.
+func (e *UnknownPolicyError) Error() string {
+	return fmt.Sprintf("policy: unknown policy %q (valid: %s)", e.Name, strings.Join(e.Valid, ", "))
+}
+
+// New constructs the named policy. The window w is validated here, once
+// for every policy: w <= 0 is an error with the offending value, even
+// for policies that ignore the window, so a typoed `-w 0` cannot be
+// silently accepted. An unregistered name returns *UnknownPolicyError.
+func New(name string, cons core.Constraints, w int) (core.Policy, error) {
+	mu.RLock()
+	e, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownPolicyError{Name: name, Valid: Names()}
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("policy: window must be >= 1, got %d", w)
+	}
+	return e.factory(cons, w)
+}
+
+// Valid reports whether name is registered.
+func Valid(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+// Names returns the registered policy names, sorted, so every error
+// message and listing renders the same stable list.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Infos returns the registered policies with their one-line
+// descriptions, sorted by name (the seesawctl policies listing).
+func Infos() []Info {
+	mu.RLock()
+	defer mu.RUnlock()
+	infos := make([]Info, 0, len(registry))
+	for _, e := range registry {
+		infos = append(infos, e.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Compared lists the hand-written policies the paper's experiments
+// compare against the static baseline, in paper order. This is the one
+// place that order is written down; the experiment harness reads it from
+// here.
+func Compared() []string { return []string{"seesaw", "time-aware", "power-aware"} }

@@ -1,0 +1,175 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/units"
+)
+
+func testConstraints() core.Constraints {
+	return core.Constraints{Budget: 880, MinCap: 98, MaxCap: 215}
+}
+
+// stubPolicy is a registrable no-op policy for registry tests. The
+// registry is process-global, so test registrations stay visible to
+// the rest of the package: the stub behaves like a real policy (its
+// Name matches its registered name) to keep every invariant test true.
+type stubPolicy struct{ name string }
+
+func (s stubPolicy) Name() string                                 { return s.name }
+func (stubPolicy) Allocate(int, []core.NodeMeasure) []units.Watts { return nil }
+
+func stubFactory(name string) Factory {
+	return func(core.Constraints, int) (core.Policy, error) { return stubPolicy{name: name}, nil }
+}
+
+func TestNamesCoverBuiltins(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, n := range []string{"static", "seesaw", "power-aware", "time-aware", "bandit"} {
+		if !have[n] {
+			t.Errorf("builtin %q not registered", n)
+		}
+	}
+	for i := 1; i < len(Names()); i++ {
+		if Names()[i-1] >= Names()[i] {
+			t.Fatalf("Names() not sorted: %v", Names())
+		}
+	}
+}
+
+func TestComparedExcludesBaselineAndBandit(t *testing.T) {
+	for _, n := range Compared() {
+		if n == "static" || n == "bandit" {
+			t.Errorf("Compared() includes %q; it must list only the paper's compared allocators", n)
+		}
+		if !Valid(n) {
+			t.Errorf("Compared() lists unregistered policy %q", n)
+		}
+	}
+}
+
+func TestNewConstructsEveryRegisteredPolicy(t *testing.T) {
+	for _, n := range Names() {
+		p, err := New(n, testConstraints(), 1)
+		if err != nil {
+			t.Errorf("New(%q): %v", n, err)
+			continue
+		}
+		if p.Name() != n {
+			t.Errorf("New(%q).Name() = %q", n, p.Name())
+		}
+	}
+}
+
+// TestUnknownPolicyErrorMessage pins the error text every consumer
+// (jobfile validation, seesawctl, cmd/insitu) surfaces for a bad
+// policy name: it must name the offender and list the registry's
+// valid names, so the lists can never drift apart again.
+func TestUnknownPolicyErrorMessage(t *testing.T) {
+	_, err := New("nope", testConstraints(), 1)
+	var unknown *UnknownPolicyError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("New(unknown) returned %T, want *UnknownPolicyError", err)
+	}
+	want := fmt.Sprintf("policy: unknown policy %q (valid: %s)", "nope", strings.Join(Names(), ", "))
+	if err.Error() != want {
+		t.Fatalf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestWindowValidatedOnce: the registry validates w centrally so no
+// factory (and no consumer) needs its own w<=0 check.
+func TestWindowValidatedOnce(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		_, err := New("seesaw", testConstraints(), w)
+		if err == nil {
+			t.Fatalf("New(w=%d) succeeded", w)
+		}
+		want := fmt.Sprintf("policy: window must be >= 1, got %d", w)
+		if err.Error() != want {
+			t.Fatalf("error = %q, want %q", err.Error(), want)
+		}
+	}
+	// The unknown-name check precedes the window check: a consumer
+	// probing a name's validity with a junk window still learns the
+	// name is the problem.
+	var unknown *UnknownPolicyError
+	if _, err := New("nope", testConstraints(), 0); !errors.As(err, &unknown) {
+		t.Fatalf("New(unknown, w=0) = %v, want UnknownPolicyError", err)
+	}
+}
+
+func TestRegisterDuplicatePanicsWithBothSites(t *testing.T) {
+	reg := func(name string) { Register(name, "registry-test stub", stubFactory(name)) }
+	reg("dup-test-policy")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, `duplicate registration of "dup-test-policy"`) {
+			t.Fatalf("panic %q does not name the duplicate", msg)
+		}
+		// Both the first and the second registration site must appear,
+		// so the collision is debuggable from the panic alone.
+		if strings.Count(msg, "registry_test.go:") != 2 {
+			t.Fatalf("panic %q does not carry both call sites", msg)
+		}
+	}()
+	reg("dup-test-policy")
+}
+
+func TestRegisterRejectsBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name":  func() { Register("", "", stubFactory("")) },
+		"nil factory": func() { Register("nil-factory-policy", "", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register with %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestConcurrentNew exercises the registry's read path under the race
+// detector: campaign workers construct policies concurrently.
+func TestConcurrentNew(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, n := range Names() {
+				if _, err := New(n, testConstraints(), 1); err != nil {
+					t.Errorf("New(%q): %v", n, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestInfosDescribeEveryBuiltin(t *testing.T) {
+	infos := Infos()
+	if len(infos) != len(Names()) {
+		t.Fatalf("Infos() has %d entries, Names() %d", len(infos), len(Names()))
+	}
+	for _, in := range infos {
+		if in.Description == "" {
+			t.Errorf("policy %q has no description", in.Name)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+// Batched rollouts: fan a grid of (budget, w, dims, faults, topology,
+// policy) points across the campaign engine's worker pool. Each cell is
+// one full episode driven through the Env step API with a
+// registry-constructed policy, so batch throughput measures the whole
+// policy-search loop, not a shortcut around it.
+package rollout
+
+import (
+	"context"
+	"fmt"
+
+	"seesaw/internal/campaign"
+	"seesaw/internal/fault"
+	"seesaw/internal/machine"
+	"seesaw/internal/policy"
+	"seesaw/internal/telemetry"
+	"seesaw/internal/units"
+	"seesaw/internal/workflow"
+	"seesaw/internal/workload"
+)
+
+// Point is one rollout of the batch: a spec plus the registry policy
+// that supplies the actions.
+type Point struct {
+	// Key identifies the point in results and errors,
+	// e.g. "faults=kill:7@8/seesaw".
+	Key string
+	// Spec is the episode description.
+	Spec Spec
+	// Policy is the registry name of the acting allocator.
+	Policy string
+	// Window is the policy's reallocation window w (1 when zero).
+	Window int
+}
+
+// Outcome is one point's result, in the point's enumeration slot.
+type Outcome struct {
+	// Point echoes the input point.
+	Point Point
+	// Result is the episode outcome (nil on error).
+	Result *Result
+	// Err is the point's failure, including context cancellation for
+	// points skipped after a cancel.
+	Err error
+}
+
+// Options tune a batch invocation.
+type Options struct {
+	// Name labels the batch in telemetry ("search" by default).
+	Name string
+	// Jobs bounds worker concurrency; <= 0 means GOMAXPROCS. Outcomes
+	// are byte-identical at any value: points are pure functions of
+	// their specs and results are assembled in enumeration order.
+	Jobs int
+	// Telemetry, when non-nil, receives campaign progress events.
+	Telemetry *telemetry.Hub
+}
+
+// Batch runs every point on the campaign worker pool and returns one
+// Outcome per point, in point order. The returned error is the first
+// failed point's error; the Outcome slice is always complete.
+func Batch(ctx context.Context, points []Point, o Options) ([]Outcome, error) {
+	name := o.Name
+	if name == "" {
+		name = "search"
+	}
+	cells := make([]campaign.Cell, len(points))
+	for i, p := range points {
+		cells[i] = campaign.Cell{
+			Key:  p.Key,
+			Seed: p.Spec.Seed,
+			Run: func(ctx context.Context) (any, error) {
+				w := p.Window
+				if w < 1 {
+					w = 1
+				}
+				n := p.Spec.Workload.SimNodes + p.Spec.Workload.AnaNodes
+				pol, err := policy.New(p.Policy, p.Spec.constraints(n), w)
+				if err != nil {
+					return nil, err
+				}
+				return Run(ctx, p.Spec, pol)
+			},
+		}
+	}
+	rs, err := campaign.Run(ctx, cells, campaign.Options{Name: name, Jobs: o.Jobs, Telemetry: o.Telemetry})
+	outs := make([]Outcome, len(points))
+	for i, r := range rs {
+		outs[i] = Outcome{Point: points[i], Err: r.Err}
+		if res, ok := r.Value.(*Result); ok {
+			outs[i].Result = res
+		}
+	}
+	return outs, err
+}
+
+// Grid enumerates a search space as the cross product of its axes; zero
+// axes fall back to one default point, so a Grid zero value expands to
+// a single paper-default rollout.
+type Grid struct {
+	// Nodes are total node counts (split evenly); default 8.
+	Nodes []int
+	// Budgets are per-node budgets in Watts; default 110 (the paper's).
+	Budgets []units.Watts
+	// Windows are reallocation windows w; default 1.
+	Windows []int
+	// Dims are problem sizes; default 16.
+	Dims []int
+	// Faults are fault plans in internal/fault's grammar ("" = none).
+	Faults []string
+	// Topologies are placement names ("" = space-shared).
+	Topologies []string
+	// Policies are registry policy names; default policy.Names().
+	Policies []string
+	// Steps is the Verlet step count per episode (400 when zero);
+	// J synchronizes every j-th step (1 when zero).
+	Steps, J int
+	// Analyses names the analysis kernels; default {"msd"}.
+	Analyses []string
+	// Seed is the base job seed (1 when zero).
+	Seed uint64
+}
+
+// axis returns vals, or the single fallback when empty.
+func axis[T any](vals []T, fallback T) []T {
+	if len(vals) == 0 {
+		return []T{fallback}
+	}
+	return vals
+}
+
+// Expand enumerates the grid's points in deterministic axis order.
+// Invalid axis values (a bad fault plan, an unknown topology or policy)
+// surface as errors here, before any rollout runs.
+func (g Grid) Expand() ([]Point, error) {
+	steps := g.Steps
+	if steps == 0 {
+		steps = 400
+	}
+	j := g.J
+	if j == 0 {
+		j = 1
+	}
+	seed := g.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	analyses := axis(g.Analyses, "msd")
+	tasks := workload.Tasks(analyses...)
+
+	policies := g.Policies
+	if len(policies) == 0 {
+		policies = policy.Names()
+	}
+	for _, p := range policies {
+		if !policy.Valid(p) {
+			return nil, &policy.UnknownPolicyError{Name: p, Valid: policy.Names()}
+		}
+	}
+	for _, t := range g.Topologies {
+		if t == "" || t == "space-shared" {
+			continue
+		}
+		// Validate the name only; node-count constraints (e.g. dag's
+		// divisible-by-8 rule) depend on the Nodes axis and surface per
+		// point at rollout time.
+		known := false
+		for _, n := range workflow.TopologyNames() {
+			if t == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("rollout: unknown topology %q (valid: %v)", t, workflow.TopologyNames())
+		}
+	}
+
+	var points []Point
+	for _, nodes := range axis(g.Nodes, 8) {
+		for _, budget := range axis(g.Budgets, defaultCapPerNode) {
+			for _, w := range axis(g.Windows, 1) {
+				for _, dim := range axis(g.Dims, 16) {
+					for _, fp := range axis(g.Faults, "") {
+						plan, err := fault.Parse(fp)
+						if err != nil {
+							return nil, fmt.Errorf("rollout: %w", err)
+						}
+						for _, topo := range axis(g.Topologies, "") {
+							for _, pol := range policies {
+								key := fmt.Sprintf("n%d/b%g/w%d/dim%d/faults=%s/topo=%s/%s",
+									nodes, float64(budget), w, dim, orNone(fp), orName(topo), pol)
+								points = append(points, Point{
+									Key: key,
+									Spec: Spec{
+										Workload: workload.Spec{
+											SimNodes: nodes / 2, AnaNodes: nodes - nodes/2,
+											Dim: dim, J: j, Steps: steps, Analyses: tasks,
+										},
+										Topology:   topo,
+										CapPerNode: budget,
+										Seed:       seed,
+										RunSeed:    seed + 1,
+										Noise:      machine.DefaultNoise(),
+										Faults:     plan,
+									},
+									Policy: pol,
+									Window: w,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}
+
+// orNone renders an empty fault plan as "none" in point keys.
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// orName renders an empty topology as "space-shared" in point keys.
+func orName(s string) string {
+	if s == "" {
+		return "space-shared"
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package rollout
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"seesaw/internal/machine"
+	"seesaw/internal/policy"
+	"seesaw/internal/workload"
+)
+
+// BenchmarkRollouts is the headline throughput number: complete
+// policy-search episodes per second through the Env step API — driver
+// goroutine, channel rendezvous, registry policy construction and all.
+// Episode shape mirrors BenchmarkTopologies' scale points (dim 8, 4
+// synchronized steps) so the substrate cost is comparable across the
+// two benchmarks.
+func BenchmarkRollouts(b *testing.B) {
+	for _, nodes := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			spec := Spec{
+				Workload: workload.Spec{
+					SimNodes: nodes / 2, AnaNodes: nodes / 2,
+					Dim: 8, J: 1, Steps: 4,
+					Analyses: workload.Tasks("msd"),
+				},
+				Seed:    11,
+				RunSeed: 12,
+				Noise:   machine.DefaultNoise(),
+			}
+			cons := spec.constraints(nodes)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pol, err := policy.New("seesaw", cons, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Run(context.Background(), spec, pol); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rollouts/sec")
+		})
+	}
+}

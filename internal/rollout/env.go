@@ -1,0 +1,370 @@
+// Package rollout turns the deterministic co-simulation into a
+// policy-evaluation environment with an explicit observation/action
+// step API (the ROADMAP's policy-search substrate, SPARS-style):
+//
+//	env := rollout.NewEnv()
+//	obs, err := env.Reset(spec)
+//	for !done {
+//	    caps := agent.Act(obs)          // any allocator, in- or out-of-tree
+//	    obs, done = env.Step(caps)
+//	}
+//	res, err := env.Result()
+//
+// The environment is byte-identical to in-loop policy execution: an
+// Env run is the existing cosim / workflow driver with the policy
+// callback inverted into a channel rendezvous, so a registry policy
+// driven through Env reproduces exactly the report bytes of the same
+// policy run inside the driver (the golden test pins this). One
+// rollout of 4096 nodes takes ~130 ms, so batched rollouts over the
+// campaign engine (Batch) reach thousands of policy evaluations per
+// second — the "millions of runs" scale story.
+package rollout
+
+import (
+	"context"
+	"fmt"
+
+	"seesaw/internal/core"
+	"seesaw/internal/cosim"
+	"seesaw/internal/fault"
+	"seesaw/internal/machine"
+	"seesaw/internal/telemetry"
+	"seesaw/internal/trace"
+	"seesaw/internal/units"
+	"seesaw/internal/workflow"
+	"seesaw/internal/workload"
+)
+
+// Spec describes one environment episode: a full co-simulated job minus
+// the policy, which the caller supplies action by action.
+type Spec struct {
+	// Workload is the job (node counts, dim, j, steps, analyses).
+	Workload workload.Spec
+	// Topology selects the driver: "" or "space-shared" runs the
+	// classic two-partition cosim driver; any other registered topology
+	// ("time-shared", "in-transit", "dag") runs the workflow engine on
+	// the equivalent graph.
+	Topology string
+	// CapPerNode is the per-node budget (110 W, the paper's setting,
+	// when zero); Constraints are derived from it unless set explicitly.
+	CapPerNode units.Watts
+	// Constraints, when non-zero, override the derived budget/range.
+	Constraints core.Constraints
+	// Seed and RunSeed drive the noise streams (see cosim.Config).
+	Seed, RunSeed uint64
+	// Noise configures node variability; zero disables it.
+	Noise machine.NoiseModel
+	// Faults is an optional deterministic fault plan.
+	Faults *fault.Plan
+	// Telemetry, when non-nil, instruments the underlying run.
+	Telemetry *telemetry.Hub
+}
+
+// paper-default cap range, mirrored from the experiment harness.
+const (
+	defaultCapPerNode = units.Watts(110)
+	defaultMinCap     = units.Watts(98)
+	defaultMaxCap     = units.Watts(215)
+)
+
+// constraints resolves the spec's constraint set.
+func (s Spec) constraints(physicalNodes int) core.Constraints {
+	if s.Constraints != (core.Constraints{}) {
+		return s.Constraints
+	}
+	capPer := s.CapPerNode
+	if capPer == 0 {
+		capPer = defaultCapPerNode
+	}
+	return core.Constraints{
+		Budget: capPer * units.Watts(physicalNodes),
+		MinCap: defaultMinCap,
+		MaxCap: defaultMaxCap,
+	}
+}
+
+// Observation is what the environment exposes between actions: the
+// per-node measurements the in-loop policy would have received, plus
+// the slack/phase aggregates the telemetry layer computes from them.
+type Observation struct {
+	// Step is the 1-based synchronization index.
+	Step int
+	// Measures are the per-node measurements of the interval that just
+	// ended, in world-rank order (what Policy.Allocate receives).
+	Measures []core.NodeMeasure
+	// SimTime and AnaTime are the partitions' slowest busy times;
+	// Slack is the interval's normalized slack |T_S - T_A| / wall.
+	SimTime, AnaTime units.Seconds
+	Slack            float64
+	// SimPower and AnaPower are the partitions' mean per-node measured
+	// powers over the interval.
+	SimPower, AnaPower units.Watts
+	// AliveSim and AliveAna are the partitions' live node counts.
+	AliveSim, AliveAna int
+}
+
+// aggregate fills the observation's partition aggregates from its
+// measures (the same arithmetic the drivers' SyncRecords use).
+func (o *Observation) aggregate() {
+	var wall units.Seconds
+	for _, m := range o.Measures {
+		if m.Health == core.Dead {
+			continue
+		}
+		switch m.Role {
+		case core.RoleSimulation:
+			o.AliveSim++
+			o.SimPower += m.Power
+			if m.BusyTime > o.SimTime {
+				o.SimTime = m.BusyTime
+			}
+		case core.RoleAnalysis:
+			o.AliveAna++
+			o.AnaPower += m.Power
+			if m.BusyTime > o.AnaTime {
+				o.AnaTime = m.BusyTime
+			}
+		}
+		if m.Time > wall {
+			wall = m.Time
+		}
+	}
+	if o.AliveSim > 0 {
+		o.SimPower /= units.Watts(o.AliveSim)
+	}
+	if o.AliveAna > 0 {
+		o.AnaPower /= units.Watts(o.AliveAna)
+	}
+	o.Slack = trace.SyncRecord{SimTime: o.SimTime, AnaTime: o.AnaTime}.Slack()
+}
+
+// Result summarizes a finished episode, uniformly over both drivers.
+type Result struct {
+	// TotalTime is the job's main-loop wall time.
+	TotalTime units.Seconds
+	// TotalEnergy sums all nodes' energy.
+	TotalEnergy units.Joules
+	// SyncLog records each synchronization interval.
+	SyncLog *trace.SyncLog
+	// Cosim is the underlying driver result for space-shared episodes
+	// (nil for workflow episodes); Workflow the converse.
+	Cosim    *cosim.Result
+	Workflow *workflow.Result
+}
+
+// proxy inverts the Policy callback into a channel rendezvous: the
+// driver's Allocate call publishes the measurements as an observation
+// and blocks until the environment's Step supplies the caps. The
+// context unblocks both directions when the episode is abandoned.
+type proxy struct {
+	ctx  context.Context
+	obs  chan Observation
+	caps chan []units.Watts
+}
+
+// Name implements core.Policy.
+func (*proxy) Name() string { return "rollout-env" }
+
+// Allocate implements core.Policy.
+func (p *proxy) Allocate(step int, nodes []core.NodeMeasure) []units.Watts {
+	o := Observation{Step: step, Measures: append([]core.NodeMeasure(nil), nodes...)}
+	o.aggregate()
+	select {
+	case p.obs <- o:
+	case <-p.ctx.Done():
+		return nil
+	}
+	select {
+	case caps := <-p.caps:
+		return caps
+	case <-p.ctx.Done():
+		return nil
+	}
+}
+
+// Env is a rollout environment. The zero value is not usable; call
+// NewEnv. An Env runs one episode at a time: Reset starts (or restarts)
+// an episode, Step advances it, Result reads the finished episode's
+// outcome. Env is not safe for concurrent use; run one Env per worker.
+type Env struct {
+	px     *proxy
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the driver goroutine exits
+	res    *Result
+	err    error
+	fin    bool // episode finished (done observed)
+}
+
+// NewEnv returns an idle environment.
+func NewEnv() *Env { return &Env{} }
+
+// Reset starts a new episode from spec and returns the first
+// observation — the measurements of the first synchronization interval,
+// exactly as the in-loop policy would first see them. A previous
+// unfinished episode is abandoned (its driver unwinds via context
+// cancellation).
+func (e *Env) Reset(spec Spec) (Observation, error) {
+	e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	px := &proxy{ctx: ctx, obs: make(chan Observation), caps: make(chan []units.Watts)}
+	e.px, e.cancel = px, cancel
+	e.done = make(chan struct{})
+	e.res, e.err, e.fin = nil, nil, false
+
+	run, err := driverFor(spec, px)
+	if err != nil {
+		cancel()
+		close(e.done)
+		return Observation{}, err
+	}
+	go func() {
+		defer close(e.done)
+		e.res, e.err = run(ctx)
+	}()
+
+	select {
+	case o := <-px.obs:
+		return o, nil
+	case <-e.done:
+		// The episode ended before the first allocation (error, or a
+		// workload with no capped syncs).
+		e.fin = true
+		if e.err != nil {
+			return Observation{}, e.err
+		}
+		return Observation{}, fmt.Errorf("rollout: episode finished before the first observation")
+	}
+}
+
+// Step applies the action — per-node caps aligned with the previous
+// observation's Measures, or nil to leave caps unchanged — and runs the
+// episode to the next decision point. done reports episode completion;
+// after done, read the outcome with Result.
+func (e *Env) Step(caps []units.Watts) (Observation, bool) {
+	if e.px == nil || e.fin {
+		return Observation{}, true
+	}
+	select {
+	case e.px.caps <- caps:
+	case <-e.done:
+		e.fin = true
+		return Observation{}, true
+	}
+	select {
+	case o := <-e.px.obs:
+		return o, false
+	case <-e.done:
+		e.fin = true
+		return Observation{}, true
+	}
+}
+
+// Result returns the finished episode's outcome. Calling it before Step
+// reported done is an error.
+func (e *Env) Result() (*Result, error) {
+	if e.px == nil {
+		return nil, fmt.Errorf("rollout: no episode started")
+	}
+	if !e.fin {
+		return nil, fmt.Errorf("rollout: episode still running")
+	}
+	return e.res, e.err
+}
+
+// Close abandons the current episode, if any, and releases its driver.
+func (e *Env) Close() {
+	if e.cancel != nil {
+		e.cancel()
+		<-e.done
+		e.px, e.cancel, e.done = nil, nil, nil
+		e.fin = false
+	}
+}
+
+// driverFor compiles the spec into a driver invocation running the
+// proxy as its policy.
+func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), error) {
+	if spec.Topology == "" || spec.Topology == "space-shared" {
+		cfg := cosim.Config{
+			Spec:        spec.Workload,
+			Policy:      px,
+			Constraints: spec.constraints(spec.Workload.SimNodes + spec.Workload.AnaNodes),
+			CapMode:     cosim.CapLong,
+			Seed:        spec.Seed,
+			RunSeed:     spec.RunSeed,
+			Noise:       spec.Noise,
+			Faults:      spec.Faults,
+			Telemetry:   spec.Telemetry,
+		}
+		return func(ctx context.Context) (*Result, error) {
+			res, err := cosim.Run(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{
+				TotalTime:   res.TotalTime,
+				TotalEnergy: res.TotalEnergy,
+				SyncLog:     res.SyncLog,
+				Cosim:       res,
+			}, nil
+		}, nil
+	}
+
+	topo, err := workflow.Build(spec.Topology, workflow.Params{
+		Nodes:    spec.Workload.SimNodes + spec.Workload.AnaNodes,
+		Dim:      spec.Workload.Dim,
+		J:        spec.Workload.J,
+		Steps:    spec.Workload.Steps,
+		Analyses: spec.Workload.Analyses,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rollout: %w", err)
+	}
+	cfg := workflow.Config{
+		Graph:       topo.Graph,
+		Steps:       spec.Workload.Steps,
+		SyncEvery:   spec.Workload.J,
+		Policy:      px,
+		Constraints: topo.ScaleCaps(spec.constraints(topo.PhysicalNodes)),
+		Seed:        spec.Seed,
+		RunSeed:     spec.RunSeed,
+		Noise:       spec.Noise,
+		Faults:      spec.Faults,
+		Telemetry:   spec.Telemetry,
+	}
+	return func(ctx context.Context) (*Result, error) {
+		res, err := workflow.Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			TotalTime:   res.MainLoopTime,
+			TotalEnergy: res.TotalEnergy,
+			SyncLog:     res.SyncLog,
+			Workflow:    res,
+		}, nil
+	}, nil
+}
+
+// Run drives one full episode of spec with pol supplying every action —
+// self-play over the step API. It is the rollout primitive Batch fans
+// out, and the subject of BenchmarkRollouts.
+func Run(ctx context.Context, spec Spec, pol core.Policy) (*Result, error) {
+	env := NewEnv()
+	defer env.Close()
+	obs, err := env.Reset(spec)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		caps := pol.Allocate(obs.Step, obs.Measures)
+		next, done := env.Step(caps)
+		if done {
+			return env.Result()
+		}
+		obs = next
+	}
+}

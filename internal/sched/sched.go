@@ -24,6 +24,7 @@ import (
 	"seesaw/internal/cosim"
 	"seesaw/internal/fault"
 	"seesaw/internal/machine"
+	"seesaw/internal/policy"
 	"seesaw/internal/telemetry"
 	"seesaw/internal/units"
 	"seesaw/internal/workload"
@@ -295,24 +296,15 @@ func rebalanceToMachineBudget(budgets []units.Watts, cfg Config, alive []int) {
 	}
 }
 
-// newPolicy mirrors bench.NewPolicy without importing bench (sched sits
-// below the experiment layer).
+// newPolicy resolves the name through the process-wide registry; an
+// empty name (job file with no policy) means the static baseline, and a
+// zero window means the paper's default w=1.
 func newPolicy(name string, cons core.Constraints, w int) (core.Policy, error) {
 	if w < 1 {
 		w = 1
 	}
-	switch name {
-	case "", "static":
-		return core.NewStatic(), nil
-	case "seesaw":
-		return core.NewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: w})
-	case "power-aware":
-		cfg := core.DefaultPowerAwareConfig(cons)
-		cfg.Window = w
-		return core.NewPowerAware(cfg)
-	case "time-aware":
-		return core.NewTimeAware(core.DefaultTimeAwareConfig(cons))
-	default:
-		return nil, fmt.Errorf("sched: unknown policy %q", name)
+	if name == "" {
+		name = "static"
 	}
+	return policy.New(name, cons, w)
 }
