@@ -53,6 +53,7 @@ bench-scale:
 	$(GO) test -run xxx -bench BenchmarkInsituScale -benchtime 1x -count 3 ./internal/insitu/
 	$(GO) test -run xxx -bench BenchmarkTopologies -benchtime 1x -count 3 ./internal/workflow/
 	$(GO) test -run xxx -bench BenchmarkRollouts -benchtime 2s ./internal/rollout/
+	$(GO) test -run xxx -bench BenchmarkHetero -benchtime 1x -count 3 ./internal/cosim/
 	$(GO) test -run xxx -bench . -benchtime 1s -cpu 1,4,8 ./internal/telemetry/
 
 # bench-scale-profile repeats the measurement run with CPU and heap
@@ -79,6 +80,7 @@ bench-scale-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkInsituScale/nodes=256' -benchtime 1x ./internal/insitu/
 	$(GO) test -run xxx -bench 'BenchmarkTopologies/nodes=256' -benchtime 1x ./internal/workflow/
 	$(GO) test -run xxx -bench 'BenchmarkRollouts/nodes=256' -benchtime 1x ./internal/rollout/
+	$(GO) test -run xxx -bench 'BenchmarkHetero/nodes=256' -benchtime 1x ./internal/cosim/
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/telemetry/
 
 clean:

@@ -202,7 +202,7 @@ func BenchmarkMPIAllreduce64(b *testing.B) {
 }
 
 func BenchmarkMachinePhase(b *testing.B) {
-	n := machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.DefaultNoise(), 1)
+	n := machine.DefaultNode(0, machine.DefaultNoise(), 1)
 	n.RAPL().SetLongCap(110)
 	n.Idle(0.02)
 	ph := machine.Phase{Name: "p", Nominal: 0.001, Demand: 130, Saturation: 140, Sensitivity: 0.9}

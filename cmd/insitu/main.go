@@ -7,7 +7,7 @@
 //	insitu [-policy seesaw] [-analyses msd,rdf] [-sim 2] [-ana 2]
 //	       [-steps 100] [-j 1] [-w 1] [-cap 110] [-seed 1]
 //	       [-topology space-shared|time-shared|in-transit]
-//	       [-faults PLAN] [-no-ana-memo] [-csv]
+//	       [-faults PLAN] [-classes MAP] [-no-ana-memo] [-csv]
 //	       [-cpuprofile FILE] [-memprofile FILE]
 //
 // -topology picks the placement: space-shared (the default: separate
@@ -21,6 +21,11 @@
 // e.g. "slow:1@5x2+20" or "kill:3@20"). A slow excursion degrades the
 // node in place; a kill takes the whole job down through the runtime's
 // poisoning path, as losing a rank does under real MPI.
+//
+// -classes assigns device classes to node id ranges (internal/machine
+// grammar, e.g. "0-1:cpu,2-3:gpu"; presets cpu, gpu, lowpower). Unlisted
+// nodes keep the default model; omit the flag for the classic
+// homogeneous cluster.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the job run,
 // the intended workflow for hunting substrate hotspots at scale, e.g.
@@ -43,6 +48,7 @@ import (
 	"seesaw/internal/core"
 	"seesaw/internal/fault"
 	"seesaw/internal/insitu"
+	"seesaw/internal/machine"
 	"seesaw/internal/policy"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
@@ -59,6 +65,7 @@ func main() {
 	capPer := flag.Float64("cap", 110, "per-node power budget (W)")
 	seed := flag.Uint64("seed", 1, "job seed")
 	faults := flag.String("faults", "", "fault plan, e.g. 'slow:1@5x2+20' or 'kill:3@20' (see internal/fault)")
+	classes := flag.String("classes", "", "device-class map, e.g. '0-1:cpu,2-3:gpu' (presets: "+strings.Join(machine.PresetNames(), ", ")+")")
 	topology := flag.String("topology", "", "placement: space-shared (default), time-shared (sim and analysis co-resident, needs -sim == -ana) or in-transit (frames pay a staging hop)")
 	noAnaMemo := flag.Bool("no-ana-memo", false, "disable analysis-side memoization (run every rank's kernels in place; results are byte-identical either way)")
 	csv := flag.Bool("csv", false, "emit the per-synchronization log as CSV")
@@ -67,6 +74,10 @@ func main() {
 	flag.Parse()
 
 	plan, err := fault.Parse(*faults)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classMap, err := machine.ParseClassMap(*classes)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,6 +128,7 @@ func main() {
 		Constraints: cons,
 		Seed:        *seed,
 		Faults:      plan,
+		Classes:     classMap,
 		NoAnaMemo:   *noAnaMemo,
 		Topology:    *topology,
 	})

@@ -26,7 +26,8 @@
 // exits non-zero.
 //
 // trace flags: -policy, -analyses, -nodes, -dim, -j, -w, -faults,
-// -topology (space-shared, time-shared, in-transit or dag; see -h).
+// -classes (device-class map, e.g. "0-63:cpu,64-127:gpu"), -topology
+// (space-shared, time-shared, in-transit or dag; see -h).
 // serve flags: -addr, -id, plus the shared flags above (see -h).
 package main
 
@@ -286,12 +287,17 @@ func runTrace(ctx context.Context, args []string) int {
 	capPer := fs.Float64("cap", 110, "per-node budget (W)")
 	seed := fs.Uint64("seed", 1, "job seed")
 	faults := fs.String("faults", "", "fault plan, e.g. 'kill:3@40,slow:0@10x2+20' (see internal/fault)")
+	classes := fs.String("classes", "", "device-class map, e.g. '0-63:cpu,64-127:gpu' (presets: "+strings.Join(machine.PresetNames(), ", ")+")")
 	topology := fs.String("topology", "", "workflow topology: space-shared, time-shared, in-transit or dag (default: the classic space-shared driver)")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	plan, err := fault.Parse(*faults)
+	if err != nil {
+		return fail(ctx, err)
+	}
+	classMap, err := machine.ParseClassMap(*classes)
 	if err != nil {
 		return fail(ctx, err)
 	}
@@ -328,6 +334,7 @@ func runTrace(ctx context.Context, args []string) int {
 			RunSeed:     *seed + 1,
 			Noise:       machine.DefaultNoise(),
 			Faults:      plan,
+			Classes:     classMap,
 			Telemetry:   hub,
 		})
 		if rerr != nil {
@@ -358,6 +365,7 @@ func runTrace(ctx context.Context, args []string) int {
 		RunSeed:     *seed + 1,
 		Noise:       machine.DefaultNoise(),
 		Faults:      plan,
+		Classes:     classMap,
 		Telemetry:   hub,
 	})
 	if err != nil {
@@ -408,17 +416,23 @@ usage:
   seesawctl experiments                    # experiments grouped into families
   seesawctl run <id> [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
   seesawctl all [-steps N] [-runs N] [-seed N] [-jobs N] [-telemetry FILE]
-  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-faults PLAN] [-topology T] [-telemetry FILE]
+  seesawctl trace [-policy P] [-analyses A] [-nodes N] [-dim D] [-j J] [-w W] [-faults PLAN] [-classes MAP] [-topology T] [-telemetry FILE]
   seesawctl job [-csv] [-telemetry FILE] <job.json>
   seesawctl serve [-addr HOST:PORT] [-id EXPERIMENT] [-steps N] [-runs N] [-seed N] [-jobs N]
   seesawctl selftest [-seed N] [-jobs N]   # verify the paper's headline invariants
   seesawctl policies                       # registered power policies with descriptions
-  seesawctl search [-nodes N,..] [-budgets W,..] [-w W,..] [-dims D,..] [-faults P,..] [-topologies T,..] [-policies P,..] [-jobs N]
+  seesawctl search [-nodes N,..] [-budgets W,..] [-w W,..] [-dims D,..] [-faults P,..] [-classes M;..] [-topologies T,..] [-policies P,..] [-jobs N]
 
 -topology (and the job file's "topology" key) selects the workflow
 placement: space-shared (default), time-shared, in-transit or dag. Any
 value but the default routes the run through the workflow-graph engine
 (internal/workflow).
+
+-classes (and the job file's "classes" key) assigns device classes to
+node id ranges, e.g. "0-63:cpu,64-127:gpu". Preset classes: cpu, gpu,
+lowpower (see internal/machine). Unlisted nodes keep the default model;
+an empty map is the classic homogeneous cluster. In search, the classes
+axis is semicolon-separated because maps contain commas.
 
 Experiment cells run concurrently (bounded by -jobs); reports are
 byte-identical at any -jobs value. Ctrl-C cancels cleanly: partial

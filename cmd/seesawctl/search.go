@@ -1,7 +1,7 @@
 // seesawctl search: batched policy search over a rollout grid. Every
-// (nodes, budget, w, dim, faults, topology) scenario runs once per
-// policy through the rollout environment on the campaign worker pool,
-// and the report names the winning policy per scenario.
+// (nodes, budget, w, dim, faults, classes, topology) scenario runs once
+// per policy through the rollout environment on the campaign worker
+// pool, and the report names the winning policy per scenario.
 package main
 
 import (
@@ -71,6 +71,7 @@ func runSearch(ctx context.Context, args []string) int {
 	windows := fs.String("w", "", "comma-separated reallocation windows (default 1)")
 	dims := fs.String("dims", "", "comma-separated problem sizes (default 16)")
 	faults := fs.String("faults", "", "comma-separated fault plans; 'none' for the fault-free scenario")
+	classes := fs.String("classes", "", "semicolon-separated device-class maps, e.g. '0-3:cpu,4-7:gpu'; 'uniform' for the homogeneous scenario")
 	topologies := fs.String("topologies", "", "comma-separated placements (default space-shared)")
 	policies := fs.String("policies", "", "comma-separated registry policies (default: all registered)")
 	steps := fs.Int("steps", 0, "Verlet steps per episode (default 400)")
@@ -96,6 +97,18 @@ func runSearch(ctx context.Context, args []string) int {
 			fp = ""
 		}
 		g.Faults = append(g.Faults, fp)
+	}
+	// Class maps contain commas ("0-3:cpu,4-7:gpu"), so the classes axis
+	// is semicolon-separated.
+	for _, cs := range strings.Split(*classes, ";") {
+		cs = strings.TrimSpace(cs)
+		if cs == "" {
+			continue
+		}
+		if cs == "uniform" {
+			cs = ""
+		}
+		g.Classes = append(g.Classes, cs)
 	}
 	var err error
 	if g.Nodes, err = intList(*nodes); err != nil {

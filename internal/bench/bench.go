@@ -138,6 +138,7 @@ func Families() []Family {
 		{Name: "faults", Description: "node kills and slowdown excursions mid-run: policy re-convergence and survivor accounting"},
 		{Name: "topologies", Description: "the four policies across space-shared, time-shared, in-transit and DAG workflow placements"},
 		{Name: "search", Description: "batched policy search through the rollout environment: fixed policies vs a per-window bandit"},
+		{Name: "hetero", Description: "heterogeneous device classes: the four policies on mixed CPU/GPU partitions vs the uniform static division"},
 	}
 	idx := map[string]int{}
 	for i, f := range fams {
@@ -156,6 +157,8 @@ func Families() []Family {
 			f = "topologies"
 		case id == "search":
 			f = "search"
+		case id == "hetero":
+			f = "hetero"
 		}
 		fams[idx[f]].IDs = append(fams[idx[f]].IDs, id)
 	}
@@ -208,6 +211,7 @@ type cell struct {
 	jobSeed    uint64
 	runSeed    uint64
 	faults     *fault.Plan
+	classes    *machine.ClassMap
 	telemetry  *telemetry.Hub
 }
 
@@ -242,6 +246,7 @@ func runCell(ctx context.Context, c cell) (*cosim.Result, error) {
 		RunSeed:       c.runSeed,
 		Noise:         machine.DefaultNoise(),
 		Faults:        c.faults,
+		Classes:       c.classes,
 		Telemetry:     c.telemetry,
 	})
 }

@@ -20,7 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "table1", "fig3a", "fig3b", "fig4", "fig5",
 		"fig6", "table2", "fig7", "fig8", "fig9a", "fig9b",
 		"abl-ewma", "abl-window", "abl-hier", "abl-explore", "abl-oracle", "ext-sched", "ext-powershift", "abl-transient",
-		"faults", "topologies", "search"}
+		"faults", "topologies", "search", "hetero"}
 	have := map[string]bool{}
 	for _, id := range IDs() {
 		have[id] = true

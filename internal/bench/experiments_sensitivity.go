@@ -9,7 +9,6 @@ import (
 
 	"seesaw/internal/cosim"
 	"seesaw/internal/machine"
-	"seesaw/internal/rapl"
 	"seesaw/internal/stats"
 	"seesaw/internal/trace"
 	"seesaw/internal/units"
@@ -278,7 +277,7 @@ func runFig9b(ctx context.Context, o Options, w io.Writer) error {
 		c := c
 		getters = append(getters, addCell(e, fmt.Sprintf("cap%.0f", float64(c)), o.BaseSeed+98,
 			func(ctx context.Context) (float64, error) {
-				node := machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.DefaultNoise(), o.BaseSeed+98)
+				node := machine.DefaultNode(0, machine.DefaultNoise(), o.BaseSeed+98)
 				node.RAPL().SetLongCap(c)
 				// Warm the domain past the actuation latency.
 				node.Idle(0.02)

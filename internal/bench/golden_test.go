@@ -166,6 +166,33 @@ func TestSearchByteIdenticalAcrossJobs(t *testing.T) {
 	}
 }
 
+// TestHeteroByteIdenticalAcrossJobs pins determinism for the
+// device-class path: heterogeneous cells thread per-node capabilities
+// through cluster construction and the allocators' waterfill division,
+// so class weights and per-class clamps must be pure functions of the
+// cell's seeds even when cells run on 8 workers.
+func TestHeteroByteIdenticalAcrossJobs(t *testing.T) {
+	e, ok := Get("hetero")
+	if !ok {
+		t.Fatal("hetero experiment not registered")
+	}
+	render := func(jobs int) []byte {
+		t.Helper()
+		o := fastOptions()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := e.Run(context.Background(), o, &buf); err != nil {
+			t.Fatalf("hetero(jobs=%d): %v", jobs, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	par := render(8)
+	if !bytes.Equal(seq, par) {
+		t.Fatalf("hetero reports differ between jobs=1 and jobs=8:\n%s\n---\n%s", seq, par)
+	}
+}
+
 // TestReportMatchesSeedGolden pins the full experiment report to the
 // bytes the seed runtime produced (testdata/report_golden.md, captured
 // before the sharded-rendezvous rewrite of internal/mpi). Virtual-time

@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"seesaw/internal/core"
@@ -38,12 +39,25 @@ type Config struct {
 	// SimNodes-1 are simulation, the rest analysis (the drivers' rank
 	// layout).
 	SimNodes, AnaNodes int
-	// Rapl is the per-node RAPL hardware model (Theta if zero).
+	// Rapl is the per-node RAPL hardware model (Theta if zero); with
+	// Classes set it describes the default class (unmapped nodes).
 	Rapl rapl.Config
-	// Machine is the node performance model (DefaultModel if zero).
+	// Machine is the node performance model (DefaultModel if zero);
+	// with Classes set it describes the default class.
 	Machine machine.Model
-	// Noise configures node variability; zero disables noise.
+	// Noise configures node variability; zero disables noise for the
+	// whole run, including any per-class profiles.
 	Noise machine.NoiseModel
+	// Classes assigns device classes to node ids (the
+	// machine.ClassMap grammar, e.g. "0-511:cpu,512-575:gpu").
+	// Unmapped nodes get the default class above. Nil keeps the
+	// cluster homogeneous — the degenerate one-class case, byte-
+	// identical to the pre-class behaviour.
+	Classes *machine.ClassMap
+	// ClassRegistry resolves class names; entries override the
+	// built-in presets (machine.PresetNames). Nil uses the presets
+	// alone.
+	ClassRegistry map[string]machine.Class
 	// JobSeed fixes node-allocation effects (speed and power-efficiency
 	// skews); RunSeed drives per-run jitter. RunSeed zero falls back to
 	// JobSeed (the single-seed behaviour of the insitu driver).
@@ -90,11 +104,50 @@ func (tr Transition) String() string {
 	return fmt.Sprintf("sync %d: node %d (%s) %s -> %s", tr.Sync, tr.NodeID, tr.Role, tr.From, tr.To)
 }
 
+// Defaults returns the configuration with its zero-valued model
+// fields replaced by the documented defaults: the default device
+// class's model and RAPL domain (DefaultModel on Theta). This is the
+// single normalization step every entry point shares — the drivers
+// pass their Machine/Rapl fields through untouched, so "zero means
+// the Theta defaults" is an explicit contract here rather than an
+// accident of zero-value comparison sprinkled across callers. A
+// homogeneous cluster is thus literally the one-class degenerate case
+// of the preset registry.
+func (cfg Config) Defaults() Config {
+	def := machine.DefaultClass()
+	if cfg.Machine == (machine.Model{}) {
+		cfg.Machine = def.Model
+	}
+	if cfg.Rapl == (rapl.Config{}) {
+		cfg.Rapl = def.Rapl
+	}
+	return cfg
+}
+
+// classes resolves the class registry in effect: built-in presets
+// overlaid with the config's registry, plus the default class built
+// from the (normalized) Machine/Rapl pair.
+func (cfg Config) classes() map[string]machine.Class {
+	reg := map[string]machine.Class{}
+	for _, name := range machine.PresetNames() {
+		c, _ := machine.PresetClass(name)
+		reg[name] = c
+	}
+	for name, c := range cfg.ClassRegistry {
+		c.Name = name
+		reg[name] = c
+	}
+	return reg
+}
+
 // Cluster is the node population of one job plus its health state.
 type Cluster struct {
 	cfg   Config
 	nodes []*machine.Node
 	roles []core.Role
+	// caps holds each node's device-class capability; nil on a
+	// homogeneous cluster (no Classes configured).
+	caps []core.NodeCapability
 
 	mu       sync.Mutex
 	health   []core.Health
@@ -111,13 +164,26 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SimNodes <= 0 || cfg.AnaNodes <= 0 {
 		return nil, fmt.Errorf("cluster: need positive partition sizes, got sim=%d ana=%d", cfg.SimNodes, cfg.AnaNodes)
 	}
-	if cfg.Machine == (machine.Model{}) {
-		cfg.Machine = machine.DefaultModel()
-	}
-	if cfg.Rapl == (rapl.Config{}) {
-		cfg.Rapl = rapl.Theta()
-	}
+	cfg = cfg.Defaults()
 	n := cfg.SimNodes + cfg.AnaNodes
+	var registry map[string]machine.Class
+	if !cfg.Classes.Empty() {
+		registry = cfg.classes()
+		known := make([]string, 0, len(registry))
+		for name := range registry {
+			known = append(known, name)
+		}
+		sort.Strings(known)
+		resolve := func(name string) bool { _, ok := registry[name]; return ok }
+		if err := cfg.Classes.Validate(n, resolve, known); err != nil {
+			return nil, err
+		}
+		for _, name := range cfg.Classes.Classes() {
+			if err := registry[name].Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if cfg.Scales != nil {
 		if len(cfg.Scales) != n {
 			return nil, fmt.Errorf("cluster: %d node scales for %d nodes", len(cfg.Scales), n)
@@ -159,13 +225,43 @@ func New(cfg Config) (*Cluster, error) {
 		aliveSim: cfg.SimNodes,
 		aliveAna: cfg.AnaNodes,
 	}
+	var weights map[string]float64
+	if registry != nil {
+		c.caps = make([]core.NodeCapability, n)
+		weights = map[string]float64{}
+	}
+	defaultClass := machine.Class{Name: "default", Model: cfg.Machine, Rapl: cfg.Rapl}
 	for i := 0; i < n; i++ {
-		raplCfg, model := cfg.Rapl, cfg.Machine
+		cl := defaultClass
+		if registry != nil {
+			if name := cfg.Classes.ClassAt(i); name != "" {
+				cl = registry[name]
+			}
+		}
+		raplCfg, model, noise := cl.Rapl, cl.Model, cfg.Noise
+		if noise != (machine.NoiseModel{}) && cl.Noise != (machine.NoiseModel{}) {
+			// A class's own noise profile overrides the run-level one,
+			// but a deterministic (zero-noise) run stays deterministic.
+			noise = cl.Noise
+		}
 		if cfg.Scales != nil {
 			raplCfg = raplCfg.Scale(cfg.Scales[i])
 			model = model.Scale(cfg.Scales[i])
 		}
-		c.nodes[i] = machine.NewNodeWithSeeds(i, raplCfg, model, cfg.Noise, cfg.JobSeed, runSeed)
+		if c.caps != nil {
+			w, ok := weights[cl.Name]
+			if !ok {
+				w = cl.Weight()
+				weights[cl.Name] = w
+			}
+			c.caps[i] = core.NodeCapability{
+				Class:  cl.Name,
+				MinCap: raplCfg.MinCap,
+				MaxCap: raplCfg.TDP,
+				Weight: w,
+			}
+		}
+		c.nodes[i] = machine.NewNodeWithSeeds(i, raplCfg, model, noise, cfg.JobSeed, runSeed)
 		if i < cfg.SimNodes {
 			c.roles[i] = core.RoleSimulation
 		} else {
@@ -196,6 +292,29 @@ func (c *Cluster) Node(i int) *machine.Node { return c.nodes[i] }
 
 // Role returns node i's partition role.
 func (c *Cluster) Role(i int) core.Role { return c.roles[i] }
+
+// Hetero reports whether the cluster carries device classes.
+func (c *Cluster) Hetero() bool { return c.caps != nil }
+
+// Capability returns node i's device-class capability; the zero value
+// on a homogeneous cluster.
+func (c *Cluster) Capability(i int) core.NodeCapability {
+	if c.caps == nil {
+		return core.NodeCapability{}
+	}
+	return c.caps[i]
+}
+
+// CapabilityFn returns a lookup suitable for polimer.Options: nil on
+// a homogeneous cluster (so the rank-parallel path stays untouched),
+// the Capability accessor otherwise. The capability table is immutable
+// after New, so the lookup is safe from any rank goroutine.
+func (c *Cluster) CapabilityFn() func(int) core.NodeCapability {
+	if c.caps == nil {
+		return nil
+	}
+	return c.Capability
+}
 
 // Health returns node i's current health.
 func (c *Cluster) Health(i int) core.Health {
@@ -247,6 +366,9 @@ func (c *Cluster) Measure(i int) core.NodeMeasure {
 	m := core.NodeMeasure{NodeID: i, Health: h, Role: c.roles[i]}
 	if h.Alive() {
 		m.Cap = c.nodes[i].RAPL().LongCap()
+	}
+	if c.caps != nil {
+		m.NodeCapability = c.caps[i]
 	}
 	return m
 }

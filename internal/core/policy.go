@@ -122,6 +122,46 @@ type NodeMeasure struct {
 	Power units.Watts
 	// Cap is the per-node power cap that was in force.
 	Cap units.Watts
+	// NodeCapability carries the node's device-class capability in a
+	// heterogeneous cluster. The zero value means "homogeneous node":
+	// every allocator then reproduces the uniform-cluster math bit for
+	// bit, keeping single-class goldens byte-identical.
+	NodeCapability
+}
+
+// NodeCapability describes a node's device class as the allocators see
+// it: the per-node clamp range its RAPL domain supports and a
+// capability weight (unconstrained speed on the reference compute
+// phase, relative to the default class — machine.Class.Weight). The
+// zero value marks a homogeneous node and defers entirely to the
+// global Constraints.
+type NodeCapability struct {
+	// Class names the device class ("cpu", "gpu", ...); informational.
+	Class string
+	// MinCap/MaxCap are the node's own clamp range (its class's RAPL
+	// floor and TDP, scaled with the node). Zero defers to the global
+	// Constraints bound.
+	MinCap units.Watts
+	MaxCap units.Watts
+	// Weight is the class's capability weight (cpu ≡ 1). Zero marks a
+	// homogeneous node.
+	Weight float64
+}
+
+// Hetero reports whether the capability carries class information.
+func (c NodeCapability) Hetero() bool { return c.Weight != 0 }
+
+// CapRange returns the node's effective per-node cap clamp range: its
+// own class range where set, the global constraint range otherwise.
+func (n NodeMeasure) CapRange(c Constraints) (lo, hi units.Watts) {
+	lo, hi = c.MinCap, c.MaxCap
+	if n.MinCap > 0 {
+		lo = n.MinCap
+	}
+	if n.MaxCap > 0 {
+		hi = n.MaxCap
+	}
+	return lo, hi
 }
 
 // Constraints bound every allocation.

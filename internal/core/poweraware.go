@@ -84,6 +84,7 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	p.sinceAlloc = 0
 
 	c := p.cfg.Constraints
+	het := heteroNodes(nodes)
 	caps := make([]units.Watts, len(nodes))
 	needy := make([]int, 0, len(nodes))
 	alive := 0
@@ -114,8 +115,10 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 			continue
 		}
 		// Below the cap: reclaim the excess beyond a headroom cushion,
-		// but never trim below delta_min.
-		target := units.ClampWatts(n.Power+p.cfg.Headroom, c.MinCap, c.MaxCap)
+		// but never trim below the node's delta_min (its own class
+		// floor on a heterogeneous cluster).
+		nLo, nHi := n.CapRange(c)
+		target := units.ClampWatts(n.Power+p.cfg.Headroom, nLo, nHi)
 		if target < caps[i] {
 			pool += caps[i] - target
 			caps[i] = target
@@ -131,7 +134,18 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		}
 	}
 	if orphan := c.Budget - capTotal - pool; orphan > capConservationEps {
-		if room := c.MaxCap*units.Watts(alive) - capTotal; orphan > room {
+		maxTotal := c.MaxCap * units.Watts(alive)
+		if het {
+			maxTotal = 0
+			for _, n := range nodes {
+				if n.Health == Dead {
+					continue
+				}
+				_, nHi := n.CapRange(c)
+				maxTotal += nHi
+			}
+		}
+		if room := maxTotal - capTotal; orphan > room {
 			orphan = room
 		}
 		if orphan > 0 {
@@ -140,17 +154,37 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	}
 
 	if len(needy) > 0 && pool > 0 {
-		// "The excess power is divided evenly among nodes that require
-		// more power."
-		share := pool / units.Watts(len(needy))
-		for _, i := range needy {
-			grant := share
-			room := c.MaxCap - caps[i]
-			if grant > room {
-				grant = room
+		if het {
+			// Grants follow capability: a starved GPU gets a larger
+			// slice of the pool than a starved low-power node, bounded
+			// by each node's own ceiling.
+			var wsum float64
+			for _, i := range needy {
+				wsum += weightOf(nodes[i])
 			}
-			caps[i] += grant
-			pool -= grant
+			pool0 := pool
+			for _, i := range needy {
+				grant := units.Watts(float64(pool0) * weightOf(nodes[i]) / wsum)
+				_, nHi := nodes[i].CapRange(c)
+				if room := nHi - caps[i]; grant > room {
+					grant = room
+				}
+				caps[i] += grant
+				pool -= grant
+			}
+		} else {
+			// "The excess power is divided evenly among nodes that
+			// require more power."
+			share := pool / units.Watts(len(needy))
+			for _, i := range needy {
+				grant := share
+				room := c.MaxCap - caps[i]
+				if grant > room {
+					grant = room
+				}
+				caps[i] += grant
+				pool -= grant
+			}
 		}
 	}
 	// Any unplaceable remainder (all needy nodes at delta_max, or no
@@ -161,7 +195,8 @@ func (p *PowerAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 			if n.Health == Dead {
 				continue
 			}
-			caps[i] = units.ClampWatts(caps[i]+share, c.MinCap, c.MaxCap)
+			nLo, nHi := n.CapRange(c)
+			caps[i] = units.ClampWatts(caps[i]+share, nLo, nHi)
 		}
 	}
 

@@ -146,6 +146,14 @@ func (s *SeeSAw) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	}
 	s.prevSim, s.prevAna = newSim, newAna
 
+	if heteroNodes(nodes) {
+		// Mixed device classes: divide each partition's power across
+		// its nodes by capability weight instead of evenly, respecting
+		// every node's own clamp range.
+		s.allocs++
+		return heteroPartitionCaps(nodes, newSim, newAna, s.cfg.Constraints)
+	}
+
 	// Per-node division and delta clamping.
 	perSim := newSim / units.Watts(nSim)
 	perAna := newAna / units.Watts(nAna)

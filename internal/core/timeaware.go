@@ -138,9 +138,10 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		caps[i] = n.Cap
 		if timeOf(n) < target {
 			// Faster than target: slow it down by moving step Watts
-			// away (bounded by delta_min).
+			// away (bounded by the node's own delta_min).
+			nLo, _ := n.CapRange(c)
 			give := t.step
-			room := n.Cap - c.MinCap
+			room := n.Cap - nLo
 			if give > room {
 				give = room
 			}
@@ -160,7 +161,18 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		}
 	}
 	if orphan := c.Budget - capTotal - pool; orphan > capConservationEps {
-		if room := c.MaxCap*units.Watts(alive) - capTotal; orphan > room {
+		maxTotal := c.MaxCap * units.Watts(alive)
+		if heteroNodes(nodes) {
+			maxTotal = 0
+			for _, n := range nodes {
+				if n.Health == Dead {
+					continue
+				}
+				_, nHi := n.CapRange(c)
+				maxTotal += nHi
+			}
+		}
+		if room := maxTotal - capTotal; orphan > room {
 			orphan = room
 		}
 		if orphan > 0 {
@@ -168,12 +180,14 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 		}
 	}
 
-	// Grant the freed power to the slower nodes.
+	// Grant the freed power to the slower nodes, bounded by each
+	// node's own ceiling.
 	if len(slow) > 0 && pool > 0 {
 		share := pool / units.Watts(len(slow))
 		for _, i := range slow {
 			grant := share
-			room := c.MaxCap - caps[i]
+			_, nHi := nodes[i].CapRange(c)
+			room := nHi - caps[i]
 			if grant > room {
 				grant = room
 			}
@@ -189,7 +203,8 @@ func (t *TimeAware) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 			if n.Health == Dead {
 				continue
 			}
-			caps[i] = units.ClampWatts(caps[i]+share, c.MinCap, c.MaxCap)
+			nLo, nHi := n.CapRange(c)
+			caps[i] = units.ClampWatts(caps[i]+share, nLo, nHi)
 		}
 	}
 

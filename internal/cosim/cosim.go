@@ -79,10 +79,18 @@ type Config struct {
 	// Noise configures run-to-run and job-to-job variability
 	// magnitudes; zero disables noise entirely.
 	Noise machine.NoiseModel
-	// Machine is the node performance model (DefaultModel if zero).
+	// Machine is the node performance model (DefaultModel if zero);
+	// with Classes set it describes the default class.
 	Machine machine.Model
-	// Rapl is the RAPL hardware model (Theta if zero).
+	// Rapl is the RAPL hardware model (Theta if zero); with Classes
+	// set it describes the default class.
 	Rapl rapl.Config
+	// Classes assigns device classes to node ids (machine.ClassMap
+	// grammar); nil keeps the cluster homogeneous. The allocators see
+	// each node's class capability and weight its budget share.
+	Classes *machine.ClassMap
+	// ClassRegistry optionally overrides the built-in class presets.
+	ClassRegistry map[string]machine.Class
 	// Cost models the allocator's communication (DefaultCost if zero).
 	Cost mpi.CostModel
 	// TraceSegments, when true, records (time, power) segments for the
@@ -112,12 +120,8 @@ func (c *Config) normalize() error {
 	if c.Policy == nil {
 		c.Policy = core.NewStatic()
 	}
-	if c.Machine == (machine.Model{}) {
-		c.Machine = machine.DefaultModel()
-	}
-	if c.Rapl == (rapl.Config{}) {
-		c.Rapl = rapl.Theta()
-	}
+	// Machine/Rapl zero-value defaults are owned by cluster.Config.Defaults,
+	// the one normalization step shared by every driver.
 	if c.Cost == (mpi.CostModel{}) {
 		c.Cost = mpi.DefaultCost()
 	}
@@ -185,15 +189,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// same nodes this driver used to wire up itself (so fault-free runs
 	// are unchanged) and applies the fault plan on the virtual clock.
 	cl, err := cluster.New(cluster.Config{
-		SimNodes:  nSim,
-		AnaNodes:  nAna,
-		Rapl:      cfg.Rapl,
-		Machine:   cfg.Machine,
-		Noise:     cfg.Noise,
-		JobSeed:   cfg.Seed,
-		RunSeed:   cfg.RunSeed,
-		Faults:    cfg.Faults,
-		Telemetry: cfg.Telemetry,
+		SimNodes:      nSim,
+		AnaNodes:      nAna,
+		Rapl:          cfg.Rapl,
+		Machine:       cfg.Machine,
+		Noise:         cfg.Noise,
+		Classes:       cfg.Classes,
+		ClassRegistry: cfg.ClassRegistry,
+		JobSeed:       cfg.Seed,
+		RunSeed:       cfg.RunSeed,
+		Faults:        cfg.Faults,
+		Telemetry:     cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -361,6 +367,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				EpochTime: busy[i] + (wall-busy[i])*epochWaitShare,
 				Power:     units.AvgPower(e, wall),
 				Cap:       n.RAPL().LongCap(),
+				// Zero on a homogeneous cluster, so single-class runs
+				// take the allocators' legacy uniform path unchanged.
+				NodeCapability: cl.Capability(i),
 			}
 		}
 		rec := buildRecord(syncIdx+1, measures, nSim, overhead)

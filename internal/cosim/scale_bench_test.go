@@ -1,0 +1,61 @@
+package cosim
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/machine"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// heteroConfig is one co-simulated job at the given world size with
+// half of each partition on the gpu class, shrunk to a few steps so
+// ns/op tracks the per-interval substrate cost — cluster construction
+// with class resolution, per-node capability plumbing, and the
+// allocators' capability-weighted waterfill — rather than the MD
+// physics.
+func heteroConfig(world int) Config {
+	half := world / 2
+	classes := machine.MustParseClassMap(fmt.Sprintf("%d-%d:gpu,%d-%d:gpu",
+		half/2, half-1, half+half/2, world-1))
+	cons := core.Constraints{Budget: units.Watts(110 * world), MinCap: 98, MaxCap: 215}
+	pol := core.MustNewSeeSAw(core.SeeSAwConfig{Constraints: cons, Window: 1})
+	return Config{
+		Spec: workload.Spec{
+			SimNodes: half, AnaNodes: world - half,
+			Dim: 16, J: 2, Steps: 4, Analyses: workload.Tasks("msd"),
+		},
+		Policy:      pol,
+		Constraints: cons,
+		CapMode:     CapLong,
+		Seed:        11,
+		RunSeed:     12,
+		Classes:     classes,
+	}
+}
+
+// BenchmarkHetero runs the space-shared driver on a mixed CPU/GPU
+// partition at increasing node counts, measuring what heterogeneity
+// adds to the hot path: per-class node construction, capability lookup
+// per measurement, and the waterfill division replacing the uniform
+// split in every allocation.
+func BenchmarkHetero(b *testing.B) {
+	for _, world := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("nodes=%d", world), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// Rebuilt per iteration: the seesaw policy is stateful.
+				res, err := Run(context.Background(), heteroConfig(world))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.TotalTime <= 0 {
+					b.Fatal("non-positive total time")
+				}
+			}
+		})
+	}
+}

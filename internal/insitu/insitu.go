@@ -94,10 +94,17 @@ type Config struct {
 	// Noise configures node variability; zero values give a
 	// deterministic run.
 	Noise machine.NoiseModel
-	// Machine is the node performance model (DefaultModel if zero).
+	// Machine is the node performance model (DefaultModel if zero);
+	// with Classes set it describes the default class.
 	Machine machine.Model
-	// Rapl is the per-node RAPL configuration (Theta if zero).
+	// Rapl is the per-node RAPL configuration (Theta if zero); with
+	// Classes set it describes the default class.
 	Rapl rapl.Config
+	// Classes assigns device classes to world ranks (machine.ClassMap
+	// grammar); nil keeps the cluster homogeneous.
+	Classes *machine.ClassMap
+	// ClassRegistry optionally overrides the built-in class presets.
+	ClassRegistry map[string]machine.Class
 	// Cost is the communication cost model (DefaultCost if zero).
 	Cost mpi.CostModel
 	// PowerSample, when positive, records per-node power traces sampled
@@ -145,12 +152,8 @@ func (c *Config) normalize() error {
 	if c.Policy == nil {
 		c.Policy = core.NewStatic()
 	}
-	if c.Machine == (machine.Model{}) {
-		c.Machine = machine.DefaultModel()
-	}
-	if c.Rapl == (rapl.Config{}) {
-		c.Rapl = rapl.Theta()
-	}
+	// Machine/Rapl zero-value defaults are owned by cluster.Config.Defaults,
+	// the one normalization step shared by every driver.
 	if c.Cost == (mpi.CostModel{}) {
 		c.Cost = mpi.DefaultCost()
 	}
@@ -292,21 +295,23 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		},
 	}
 	wres, err := workflow.Run(ctx, workflow.Config{
-		Graph:        g,
-		Steps:        cfg.Steps,
-		SyncSteps:    syncSchedule,
-		Policy:       cfg.Policy,
-		Constraints:  cfg.Constraints,
-		InitialCaps:  map[string]units.Watts{"sim": cfg.InitialSimCap, "ana": cfg.InitialAnaCap},
-		ShortTermCap: cfg.ShortTermCap,
-		Seed:         cfg.Seed,
-		Faults:       cfg.Faults,
-		Noise:        cfg.Noise,
-		Machine:      cfg.Machine,
-		Rapl:         cfg.Rapl,
-		Cost:         cfg.Cost,
-		PowerSample:  cfg.PowerSample,
-		Telemetry:    cfg.Telemetry,
+		Graph:         g,
+		Steps:         cfg.Steps,
+		SyncSteps:     syncSchedule,
+		Policy:        cfg.Policy,
+		Constraints:   cfg.Constraints,
+		InitialCaps:   map[string]units.Watts{"sim": cfg.InitialSimCap, "ana": cfg.InitialAnaCap},
+		ShortTermCap:  cfg.ShortTermCap,
+		Seed:          cfg.Seed,
+		Faults:        cfg.Faults,
+		Noise:         cfg.Noise,
+		Machine:       cfg.Machine,
+		Rapl:          cfg.Rapl,
+		Classes:       cfg.Classes,
+		ClassRegistry: cfg.ClassRegistry,
+		Cost:          cfg.Cost,
+		PowerSample:   cfg.PowerSample,
+		Telemetry:     cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err

@@ -71,6 +71,12 @@ type Job struct {
 	// e.g. "kill:3@40,slow:0@10x2+20".
 	Faults string `json:"faults,omitempty"`
 
+	// Classes assigns device classes to node ids in the
+	// machine.ClassMap grammar, e.g. "0-31:cpu,32-63:gpu"; empty keeps
+	// the cluster homogeneous. Names resolve against the built-in
+	// presets (machine.PresetNames).
+	Classes string `json:"classes,omitempty"`
+
 	// Topology selects the workflow placement: "" or "space-shared"
 	// runs the classic two-partition driver; "time-shared",
 	// "in-transit" and "dag" run the job through the workflow-graph
@@ -153,6 +159,18 @@ func (j *Job) Validate() error {
 	}
 	if _, err := fault.Parse(j.Faults); err != nil {
 		return fmt.Errorf("jobfile: %w", err)
+	}
+	if cm, err := machine.ParseClassMap(j.Classes); err != nil {
+		return fmt.Errorf("jobfile: %w", err)
+	} else if !cm.Empty() {
+		resolve := func(name string) bool { _, ok := machine.PresetClass(name); return ok }
+		n := j.Nodes
+		if n == 0 {
+			n = j.SimNodes + j.AnaNodes
+		}
+		if err := cm.Validate(n, resolve, machine.PresetNames()); err != nil {
+			return fmt.Errorf("jobfile: %w", err)
+		}
 	}
 	switch j.Topology {
 	case "":
@@ -242,6 +260,10 @@ func (j *Job) Build() (cosim.Config, error) {
 	if err != nil {
 		return cosim.Config{}, fmt.Errorf("jobfile: %w", err)
 	}
+	classes, err := machine.ParseClassMap(j.Classes)
+	if err != nil {
+		return cosim.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
 	return cosim.Config{
 		Spec:          spec,
 		Policy:        policy,
@@ -253,6 +275,7 @@ func (j *Job) Build() (cosim.Config, error) {
 		RunSeed:       j.RunSeed,
 		Noise:         noise,
 		Faults:        plan,
+		Classes:       classes,
 	}, nil
 }
 
@@ -327,6 +350,10 @@ func (j *Job) BuildWorkflow() (workflow.Config, error) {
 	if err != nil {
 		return workflow.Config{}, fmt.Errorf("jobfile: %w", err)
 	}
+	classes, err := machine.ParseClassMap(j.Classes)
+	if err != nil {
+		return workflow.Config{}, fmt.Errorf("jobfile: %w", err)
+	}
 	caps := map[string]units.Watts{}
 	if j.InitialSimCapW != 0 {
 		caps["sim"] = units.Watts(j.InitialSimCapW)
@@ -345,6 +372,7 @@ func (j *Job) BuildWorkflow() (workflow.Config, error) {
 		RunSeed:     j.RunSeed,
 		Noise:       noise,
 		Faults:      plan,
+		Classes:     classes,
 	}, nil
 }
 

@@ -84,6 +84,46 @@ type Model struct {
 	// DualCapNoiseBoost is the additional multiplier when both long-
 	// and short-term RAPL caps are in force.
 	DualCapNoiseBoost float64
+	// SpeedFactor is the device's throughput relative to the reference
+	// KNL node: a phase's nominal duration divides by it. Zero means 1
+	// (reference speed), so existing Model literals keep their meaning.
+	SpeedFactor float64
+	// PowerScale stretches a phase's power envelope (demand and
+	// saturation) onto the device: a GPU draws more power to reach its
+	// saturation point, a low-power SoC less. Zero means 1.
+	PowerScale float64
+}
+
+// speedFactor returns SpeedFactor with the zero-means-1 convention.
+func (m Model) speedFactor() float64 {
+	if m.SpeedFactor == 0 {
+		return 1
+	}
+	return m.SpeedFactor
+}
+
+// powerScale returns PowerScale with the zero-means-1 convention.
+func (m Model) powerScale() float64 {
+	if m.PowerScale == 0 {
+		return 1
+	}
+	return m.PowerScale
+}
+
+// adapt maps a reference-node phase onto this device: faster devices
+// shrink the nominal duration, and the power envelope (demand,
+// saturation) stretches by the device's power scale. Both factors skip
+// the arithmetic entirely at 1 so reference-class nodes reproduce the
+// homogeneous path bit for bit.
+func (m Model) adapt(ph Phase) Phase {
+	if sf := m.speedFactor(); sf != 1 {
+		ph.Nominal = units.Seconds(float64(ph.Nominal) / sf)
+	}
+	if ps := m.powerScale(); ps != 1 {
+		ph.Demand = units.Watts(float64(ph.Demand) * ps)
+		ph.Saturation = units.Watts(float64(ph.Saturation) * ps)
+	}
+	return ph
 }
 
 // DefaultModel returns constants tuned to the Theta numbers reported in
@@ -290,6 +330,7 @@ func (n *Node) jitterSigma(base float64, throttled, dualCap bool) float64 {
 // domain, and returns the realized duration and power. noise may be zero
 // for deterministic runs.
 func (n *Node) Run(ph Phase, noise NoiseModel) Execution {
+	ph = n.model.adapt(ph)
 	if err := ph.Validate(n.model); err != nil {
 		panic(err)
 	}
@@ -358,6 +399,7 @@ func (n *Node) Idle(d units.Seconds) Execution {
 // call this (they are strictly online); it exists for tests and for
 // computing oracle/optimal references in the experiment harness.
 func (n *Node) PredictDuration(ph Phase, allowed units.Watts) units.Seconds {
+	ph = n.model.adapt(ph)
 	drawn := ph.Demand
 	if drawn > allowed {
 		drawn = allowed
@@ -377,6 +419,7 @@ func (n *Node) EstimatedFrequency(ph Phase, power units.Watts) float64 {
 		baseGHz  = 1.3
 		turboGHz = 1.5
 	)
+	ph = n.model.adapt(ph)
 	f := n.model.perf(units.Watts(float64(power)*n.powerEff), ph.Saturation)
 	return baseGHz*f + (turboGHz-baseGHz)*f*f
 }

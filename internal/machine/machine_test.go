@@ -5,14 +5,13 @@ import (
 	"testing"
 	"testing/quick"
 
-	"seesaw/internal/rapl"
 	"seesaw/internal/units"
 )
 
 // quietNode returns a node with no noise for deterministic assertions.
 func quietNode(t *testing.T, id int) *Node {
 	t.Helper()
-	return NewNode(id, rapl.Theta(), DefaultModel(), NoiseModel{}, 1)
+	return DefaultNode(id, NoiseModel{}, 1)
 }
 
 // computePhase is a strongly power-sensitive phase.
@@ -162,7 +161,7 @@ func TestRunPanicsOnInvalidPhase(t *testing.T) {
 func TestNoiseDeterminism(t *testing.T) {
 	noise := DefaultNoise()
 	mk := func() []units.Seconds {
-		n := NewNodeWithSeeds(3, rapl.Theta(), DefaultModel(), noise, 11, 13)
+		n := DefaultNodeWithSeeds(3, noise, 11, 13)
 		n.RAPL().SetLongCap(110)
 		n.Idle(0.02)
 		var ds []units.Seconds
@@ -182,12 +181,12 @@ func TestNoiseDeterminism(t *testing.T) {
 func TestJobVsRunSeeds(t *testing.T) {
 	noise := DefaultNoise()
 	// Same job seed: same skew; different run seed: different jitter.
-	a := NewNodeWithSeeds(0, rapl.Theta(), DefaultModel(), noise, 5, 100)
-	b := NewNodeWithSeeds(0, rapl.Theta(), DefaultModel(), noise, 5, 200)
+	a := DefaultNodeWithSeeds(0, noise, 5, 100)
+	b := DefaultNodeWithSeeds(0, noise, 5, 200)
 	if a.Skew() != b.Skew() {
 		t.Error("same job seed should give identical skew")
 	}
-	c := NewNodeWithSeeds(0, rapl.Theta(), DefaultModel(), noise, 6, 100)
+	c := DefaultNodeWithSeeds(0, noise, 6, 100)
 	if a.Skew() == c.Skew() {
 		t.Error("different job seeds should give different skew")
 	}
@@ -196,7 +195,7 @@ func TestJobVsRunSeeds(t *testing.T) {
 func TestCapAmplifiesNoise(t *testing.T) {
 	noise := NoiseModel{JitterSigma: 0.01}
 	spread := func(capped bool) float64 {
-		n := NewNodeWithSeeds(1, rapl.Theta(), DefaultModel(), noise, 21, 22)
+		n := DefaultNodeWithSeeds(1, noise, 21, 22)
 		if capped {
 			n.RAPL().SetLongCap(110)
 			n.Idle(0.02)
@@ -230,7 +229,7 @@ func TestBusyTimeAccumulates(t *testing.T) {
 func TestPredictDurationMatchesQuietRun(t *testing.T) {
 	f := func(rawCap float64) bool {
 		cap := units.Watts(98 + mod(rawCap, 117))
-		n := NewNode(0, rapl.Theta(), DefaultModel(), NoiseModel{}, 1)
+		n := DefaultNode(0, NoiseModel{}, 1)
 		ph := computePhase(1)
 		pred := n.PredictDuration(ph, cap)
 		n.RAPL().SetLongCap(cap)

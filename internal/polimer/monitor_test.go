@@ -4,12 +4,11 @@ import (
 	"testing"
 
 	"seesaw/internal/machine"
-	"seesaw/internal/rapl"
 	"seesaw/internal/units"
 )
 
 func monNode() *machine.Node {
-	return machine.NewNode(0, rapl.Theta(), machine.DefaultModel(), machine.NoiseModel{}, 1)
+	return machine.DefaultNode(0, machine.NoiseModel{}, 1)
 }
 
 func TestNewMonitorValidation(t *testing.T) {

@@ -56,6 +56,13 @@ type Options struct {
 	// allocation (the cluster layer's view under fault injection); nil
 	// means always Healthy.
 	Health func() core.Health
+	// Capability, when non-nil, resolves a node id to its device-class
+	// capability (cluster.CapabilityFn on a heterogeneous cluster).
+	// Capability is static cluster configuration the policy root knows
+	// a priori, so it is merged into the measurements root-side rather
+	// than travelling in the Allgather — the exchange's modeled wire
+	// size is unchanged. Nil means a homogeneous cluster.
+	Capability func(id int) core.NodeCapability
 }
 
 // measure is the per-node record exchanged at each allocation.
@@ -228,6 +235,9 @@ func (m *Manager) PowerAlloc() {
 			mm := g.(measure)
 			nodes[i] = core.NodeMeasure{NodeID: mm.id, Health: mm.health, Role: mm.role,
 				Time: mm.time, BusyTime: mm.busy, EpochTime: mm.epoch, Power: mm.power, Cap: mm.cap}
+			if m.opts.Capability != nil {
+				nodes[i].NodeCapability = m.opts.Capability(mm.id)
+			}
 		}
 		caps = m.opts.Policy.Allocate(m.syncStep, nodes)
 		if m.log != nil {

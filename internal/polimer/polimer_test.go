@@ -7,7 +7,6 @@ import (
 	"seesaw/internal/core"
 	"seesaw/internal/machine"
 	"seesaw/internal/mpi"
-	"seesaw/internal/rapl"
 	"seesaw/internal/units"
 )
 
@@ -26,7 +25,7 @@ func runJob(t *testing.T, nRanks, syncs int, policy core.Policy, work func(rank 
 		if r.WorldRank() >= nRanks/2 {
 			role = core.RoleAnalysis
 		}
-		node := machine.NewNode(r.WorldRank(), rapl.Theta(), machine.DefaultModel(), machine.NoiseModel{}, 1)
+		node := machine.DefaultNode(r.WorldRank(), machine.NoiseModel{}, 1)
 		mgr, err := Init(r, role, node, Options{
 			Policy:      policy,
 			Constraints: cons(),
@@ -55,7 +54,7 @@ func runJob(t *testing.T, nRanks, syncs int, policy core.Policy, work func(rank 
 
 func TestInitValidation(t *testing.T) {
 	err := mpi.Run(2, mpi.DefaultCost(), func(r *mpi.Rank) {
-		node := machine.NewNode(r.WorldRank(), rapl.Theta(), machine.DefaultModel(), machine.NoiseModel{}, 1)
+		node := machine.DefaultNode(r.WorldRank(), machine.NoiseModel{}, 1)
 		if r.WorldRank() == 0 {
 			// Root without a policy must fail.
 			if _, err := Init(r, core.RoleSimulation, node, Options{Constraints: cons()}); err == nil {
@@ -147,7 +146,7 @@ func TestOverheadAccounted(t *testing.T) {
 func TestShortTermCapMode(t *testing.T) {
 	var gotShort units.Watts
 	err := mpi.Run(2, mpi.DefaultCost(), func(r *mpi.Rank) {
-		node := machine.NewNode(r.WorldRank(), rapl.Theta(), machine.DefaultModel(), machine.NoiseModel{}, 1)
+		node := machine.DefaultNode(r.WorldRank(), machine.NoiseModel{}, 1)
 		_, err := Init(r, core.RoleSimulation, node, Options{
 			Policy: core.NewStatic(), Constraints: cons(), InitialCap: 110, ShortTermCap: true,
 		})

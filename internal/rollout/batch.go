@@ -108,6 +108,11 @@ type Grid struct {
 	Dims []int
 	// Faults are fault plans in internal/fault's grammar ("" = none).
 	Faults []string
+	// Classes are device-class maps in machine.ClassMap's grammar
+	// ("" = homogeneous). A non-empty value appends a "/classes=..."
+	// segment to the point key; the homogeneous default leaves keys
+	// unchanged.
+	Classes []string
 	// Topologies are placement names ("" = space-shared).
 	Topologies []string
 	// Policies are registry policy names; default policy.Names().
@@ -186,27 +191,42 @@ func (g Grid) Expand() ([]Point, error) {
 						if err != nil {
 							return nil, fmt.Errorf("rollout: %w", err)
 						}
-						for _, topo := range axis(g.Topologies, "") {
-							for _, pol := range policies {
-								key := fmt.Sprintf("n%d/b%g/w%d/dim%d/faults=%s/topo=%s/%s",
-									nodes, float64(budget), w, dim, orNone(fp), orName(topo), pol)
-								points = append(points, Point{
-									Key: key,
-									Spec: Spec{
-										Workload: workload.Spec{
-											SimNodes: nodes / 2, AnaNodes: nodes - nodes/2,
-											Dim: dim, J: j, Steps: steps, Analyses: tasks,
+						for _, cs := range axis(g.Classes, "") {
+							classes, err := machine.ParseClassMap(cs)
+							if err != nil {
+								return nil, fmt.Errorf("rollout: %w", err)
+							}
+							for _, topo := range axis(g.Topologies, "") {
+								for _, pol := range policies {
+									// The classes segment is inserted before the
+									// policy only when heterogeneous, so class-free
+									// grids keep their keys and the policy stays the
+									// trailing segment (scenario grouping strips it).
+									het := ""
+									if cs != "" {
+										het = "classes=" + cs + "/"
+									}
+									key := fmt.Sprintf("n%d/b%g/w%d/dim%d/faults=%s/topo=%s/%s%s",
+										nodes, float64(budget), w, dim, orNone(fp), orName(topo), het, pol)
+									points = append(points, Point{
+										Key: key,
+										Spec: Spec{
+											Workload: workload.Spec{
+												SimNodes: nodes / 2, AnaNodes: nodes - nodes/2,
+												Dim: dim, J: j, Steps: steps, Analyses: tasks,
+											},
+											Topology:   topo,
+											CapPerNode: budget,
+											Seed:       seed,
+											RunSeed:    seed + 1,
+											Noise:      machine.DefaultNoise(),
+											Faults:     plan,
+											Classes:    classes,
 										},
-										Topology:   topo,
-										CapPerNode: budget,
-										Seed:       seed,
-										RunSeed:    seed + 1,
-										Noise:      machine.DefaultNoise(),
-										Faults:     plan,
-									},
-									Policy: pol,
-									Window: w,
-								})
+										Policy: pol,
+										Window: w,
+									})
+								}
 							}
 						}
 					}

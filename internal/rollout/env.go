@@ -56,6 +56,9 @@ type Spec struct {
 	Noise machine.NoiseModel
 	// Faults is an optional deterministic fault plan.
 	Faults *fault.Plan
+	// Classes assigns device classes to node ids (machine.ClassMap
+	// grammar); nil keeps the cluster homogeneous.
+	Classes *machine.ClassMap
 	// Telemetry, when non-nil, instruments the underlying run.
 	Telemetry *telemetry.Hub
 }
@@ -294,6 +297,7 @@ func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), er
 			RunSeed:     spec.RunSeed,
 			Noise:       spec.Noise,
 			Faults:      spec.Faults,
+			Classes:     spec.Classes,
 			Telemetry:   spec.Telemetry,
 		}
 		return func(ctx context.Context) (*Result, error) {
@@ -330,6 +334,7 @@ func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), er
 		RunSeed:     spec.RunSeed,
 		Noise:       spec.Noise,
 		Faults:      spec.Faults,
+		Classes:     spec.Classes,
 		Telemetry:   spec.Telemetry,
 	}
 	return func(ctx context.Context) (*Result, error) {

@@ -62,10 +62,18 @@ type Config struct {
 	// deterministic run.
 	Noise machine.NoiseModel
 	// Machine is the full-node performance model (DefaultModel if
-	// zero); time-shared stages run on halved copies.
+	// zero); time-shared stages run on halved copies. With Classes set
+	// it describes the default class.
 	Machine machine.Model
-	// Rapl is the full-node RAPL configuration (Theta if zero).
+	// Rapl is the full-node RAPL configuration (Theta if zero); with
+	// Classes set it describes the default class.
 	Rapl rapl.Config
+	// Classes assigns device classes to world ranks (machine.ClassMap
+	// grammar); nil keeps the cluster homogeneous. On time-shared
+	// placements a rank's class composes with its half-node scale.
+	Classes *machine.ClassMap
+	// ClassRegistry optionally overrides the built-in class presets.
+	ClassRegistry map[string]machine.Class
 	// Cost is the communication cost model (DefaultCost if zero).
 	Cost mpi.CostModel
 	// PowerSample, when positive, records per-node power traces sampled
@@ -94,12 +102,8 @@ func (c *Config) normalize(plan *Plan) error {
 	if c.Policy == nil {
 		c.Policy = core.NewStatic()
 	}
-	if c.Machine == (machine.Model{}) {
-		c.Machine = machine.DefaultModel()
-	}
-	if c.Rapl == (rapl.Config{}) {
-		c.Rapl = rapl.Theta()
-	}
+	// Machine/Rapl zero-value defaults are owned by cluster.Config.Defaults,
+	// the one normalization step shared by every driver.
 	if c.Cost == (mpi.CostModel{}) {
 		c.Cost = mpi.DefaultCost()
 	}
@@ -256,16 +260,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	even := core.EvenSplit(cfg.Constraints, plan.NWorld)
 
 	cl, err := cluster.New(cluster.Config{
-		SimNodes:  plan.SimNodes,
-		AnaNodes:  plan.AnaNodes,
-		Rapl:      cfg.Rapl,
-		Machine:   cfg.Machine,
-		Noise:     cfg.Noise,
-		JobSeed:   cfg.Seed,
-		RunSeed:   cfg.RunSeed,
-		Faults:    cfg.Faults,
-		Telemetry: cfg.Telemetry,
-		Scales:    plan.Scales,
+		SimNodes:      plan.SimNodes,
+		AnaNodes:      plan.AnaNodes,
+		Rapl:          cfg.Rapl,
+		Machine:       cfg.Machine,
+		Noise:         cfg.Noise,
+		Classes:       cfg.Classes,
+		ClassRegistry: cfg.ClassRegistry,
+		JobSeed:       cfg.Seed,
+		RunSeed:       cfg.RunSeed,
+		Faults:        cfg.Faults,
+		Telemetry:     cfg.Telemetry,
+		Scales:        plan.Scales,
 	})
 	if err != nil {
 		return nil, err
@@ -299,6 +305,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			ShortTermCap: cfg.ShortTermCap,
 			Telemetry:    cfg.Telemetry,
 			Health:       func() core.Health { return cl.Health(r.WorldRank()) },
+			Capability:   cl.CapabilityFn(),
 		})
 		if err != nil {
 			panic(err)
