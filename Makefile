@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-profile bench-scale-smoke clean
+.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-profile bench-scale-smoke bench-rollouts bench-rollouts-profile clean
 
 all: build
 
@@ -82,6 +82,21 @@ bench-scale-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkRollouts/nodes=256' -benchtime 1x ./internal/rollout/
 	$(GO) test -run xxx -bench 'BenchmarkHetero/nodes=256' -benchtime 1x ./internal/cosim/
 	$(GO) test -run xxx -bench . -benchtime 1x ./internal/telemetry/
+
+# bench-rollouts measures the policy-search fast path in isolation:
+# pooled-Env episode throughput at 256/1024/4096 nodes, the unpooled
+# fresh-Env baseline, and the batched grid sweep at jobs=1/4/8.
+# Interleaved A/B medians of these runs feed BENCH_rollouts2.json
+# (see EXPERIMENTS.md).
+bench-rollouts:
+	$(GO) test -run xxx -bench 'BenchmarkRollouts|BenchmarkRolloutsFresh|BenchmarkRolloutsBatch' -benchtime 2s ./internal/rollout/
+
+# bench-rollouts-profile repeats the pooled run with CPU and heap
+# profiles (rollout.cpu.out / rollout.mem.out); CI uploads them as
+# artifacts so a throughput regression can be diagnosed from the run.
+bench-rollouts-profile:
+	$(GO) test -run xxx -bench '^BenchmarkRollouts$$' -benchtime 1x -count 5 \
+		-cpuprofile rollout.cpu.out -memprofile rollout.mem.out ./internal/rollout/
 
 clean:
 	$(GO) clean ./...

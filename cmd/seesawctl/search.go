@@ -1,7 +1,11 @@
 // seesawctl search: batched policy search over a rollout grid. Every
 // (nodes, budget, w, dim, faults, classes, topology) scenario runs once
 // per policy through the rollout environment on the campaign worker
-// pool, and the report names the winning policy per scenario.
+// pool, and the report names the winning policy per scenario. The
+// scalar knobs (-steps, -j, -analyses, -seed) join the scenario key
+// only when they deviate from their defaults, so default grids keep
+// their established keys while two grids differing in those knobs can
+// never collide.
 package main
 
 import (

@@ -52,6 +52,27 @@ type Options struct {
 	// CampaignCell event per finished cell. Nil disables instrumentation
 	// at no cost.
 	Telemetry *telemetry.Hub
+	// WorkerState, when non-nil, is invoked once per worker goroutine
+	// before it runs any cell; the returned value is visible to that
+	// worker's cells through WorkerValue(ctx). It exists for per-worker
+	// reusable scratch (the rollout layer's pooled environments) —
+	// state that is expensive to build, must not be shared across
+	// workers, and must not leak between campaigns. Cells must not let
+	// worker state influence their results: determinism across -jobs
+	// settings still requires every cell to be a pure function of its
+	// inputs. If the value implements Close(), it is closed when the
+	// worker exits.
+	WorkerState func() any
+}
+
+// workerKey carries a worker's state in its cells' contexts.
+type workerKey struct{}
+
+// WorkerValue returns the value Options.WorkerState produced for the
+// worker running this cell, or nil when no worker state is configured
+// (including cells run outside the campaign engine).
+func WorkerValue(ctx context.Context) any {
+	return ctx.Value(workerKey{})
 }
 
 // jobs returns the effective worker count.
@@ -135,8 +156,16 @@ func Run(ctx context.Context, cells []Cell, o Options) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wctx := ctx
+			if o.WorkerState != nil {
+				ws := o.WorkerState()
+				if c, ok := ws.(interface{ Close() }); ok {
+					defer c.Close()
+				}
+				wctx = context.WithValue(ctx, workerKey{}, ws)
+			}
 			for i := range idxc {
-				r := runCell(ctx, o, cells[i])
+				r := runCell(wctx, o, cells[i])
 				results[i] = r
 				mu.Lock()
 				done++

@@ -253,3 +253,69 @@ func TestCollect(t *testing.T) {
 		t.Errorf("type mismatch err = %v", err)
 	}
 }
+
+// TestWorkerState: each worker builds its state exactly once, cells see
+// their worker's value through WorkerValue, and Close runs at worker
+// exit.
+func TestWorkerState(t *testing.T) {
+	var built, closed atomic.Int32
+
+	cells := make([]Cell, 12)
+	for i := range cells {
+		cells[i] = Cell{
+			Key: fmt.Sprintf("c%d", i),
+			Run: func(ctx context.Context) (any, error) {
+				s, ok := WorkerValue(ctx).(*workerState)
+				if !ok || s == nil {
+					return nil, fmt.Errorf("cell saw no worker state")
+				}
+				s.cells.Add(1)
+				return int(s.id), nil
+			},
+		}
+	}
+	opts := Options{
+		Name: "ws",
+		Jobs: 3,
+		WorkerState: func() any {
+			return &workerState{id: built.Add(1), closed: &closed}
+		},
+	}
+	rs, err := Run(context.Background(), cells, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Key, r.Err)
+		}
+	}
+	if b := built.Load(); b < 1 || b > 3 {
+		t.Errorf("built %d worker states, want 1..3", b)
+	}
+	if closed.Load() != built.Load() {
+		t.Errorf("closed %d of %d worker states", closed.Load(), built.Load())
+	}
+}
+
+// workerState is TestWorkerState's per-worker scratch.
+type workerState struct {
+	id     int32
+	cells  atomic.Int32
+	closed *atomic.Int32
+}
+
+func (s *workerState) Close() { s.closed.Add(1) }
+
+// TestWorkerValueWithoutState: cells run without WorkerState see nil.
+func TestWorkerValueWithoutState(t *testing.T) {
+	cells := []Cell{{Key: "c", Run: func(ctx context.Context) (any, error) {
+		if WorkerValue(ctx) != nil {
+			return nil, fmt.Errorf("unexpected worker state")
+		}
+		return 1, nil
+	}}}
+	if _, err := Run(context.Background(), cells, Options{Name: "nows"}); err != nil {
+		t.Fatal(err)
+	}
+}

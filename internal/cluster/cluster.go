@@ -261,6 +261,11 @@ func New(cfg Config) (*Cluster, error) {
 				Weight: w,
 			}
 		}
+		// The phase execution model only ever queries the sustained
+		// enforcement level, so the domains skip the transient-window
+		// bookkeeping (telemetry-attached domains keep it for violation
+		// reporting).
+		raplCfg.SustainedOnly = true
 		c.nodes[i] = machine.NewNodeWithSeeds(i, raplCfg, model, noise, cfg.JobSeed, runSeed)
 		if i < cfg.SimNodes {
 			c.roles[i] = core.RoleSimulation
@@ -276,6 +281,25 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	return c, nil
+}
+
+// Reset returns the cluster to its just-built state for pooled episode
+// reuse: every node rewinds (RAPL domain, jitter stream, slow factor,
+// busy/idle accounting) and the health view returns to all-alive. The
+// seed-derived node skews and the class capability table are immutable
+// and survive, so a reset cluster replays exactly the behaviour of a
+// freshly constructed one with the same Config.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	for i := range c.nodes {
+		c.health[i] = core.Healthy
+		c.slow[i] = 1
+	}
+	c.aliveSim, c.aliveAna = c.cfg.SimNodes, c.cfg.AnaNodes
+	c.mu.Unlock()
+	for _, n := range c.nodes {
+		n.Reset()
+	}
 }
 
 // Size returns the total node count.

@@ -193,6 +193,11 @@ func (c Constraints) Validate(nodes int) error {
 // each simulation-analysis synchronization with the measurements of the
 // interval that just ended; it returns new per-node caps (aligned with
 // nodes), or nil to leave caps unchanged.
+//
+// Ownership: the returned slice may be scratch storage the policy
+// reuses — it is valid until the policy's next Allocate call. Callers
+// that retain caps across allocations must copy them (the drivers
+// write caps to the RAPL domains immediately and never retain).
 type Policy interface {
 	// Name identifies the policy ("seesaw", "power-aware",
 	// "time-aware", "static").
@@ -354,15 +359,25 @@ func clampPartitionCaps(pS, pA units.Watts, nSim, nAna int, c Constraints) (unit
 // zero cap (the drivers never write zero caps to hardware); invalid
 // roles panic with the offending value.
 func expandPartitionCaps(nodes []NodeMeasure, pS, pA units.Watts) []units.Watts {
-	caps := make([]units.Watts, len(nodes))
+	return expandPartitionCapsInto(nil, nodes, pS, pA)
+}
+
+// expandPartitionCapsInto is expandPartitionCaps writing into buf
+// (grown when too small): policies that allocate every synchronization
+// keep one scratch slice instead of producing per-call garbage, under
+// the Policy ownership contract (result valid until the next Allocate).
+func expandPartitionCapsInto(buf []units.Watts, nodes []NodeMeasure, pS, pA units.Watts) []units.Watts {
+	if cap(buf) < len(nodes) {
+		buf = make([]units.Watts, len(nodes))
+	}
+	caps := buf[:len(nodes)]
 	for i, n := range nodes {
-		if n.Health == Dead {
-			continue
-		}
-		switch n.Role {
-		case RoleSimulation:
+		switch {
+		case n.Health == Dead:
+			caps[i] = 0
+		case n.Role == RoleSimulation:
 			caps[i] = pS
-		case RoleAnalysis:
+		case n.Role == RoleAnalysis:
 			caps[i] = pA
 		default:
 			panic(fmt.Sprintf("core: measurement %d (node id %d) has invalid role %d", i, n.NodeID, int(n.Role)))

@@ -56,6 +56,10 @@ type SeeSAw struct {
 
 	sinceAlloc int
 	allocs     int
+
+	// scratch backs the returned caps slice (Policy ownership
+	// contract: valid until the next Allocate).
+	scratch []units.Watts
 }
 
 // NewSeeSAw returns a SeeSAw allocator.
@@ -160,7 +164,8 @@ func (s *SeeSAw) Allocate(step int, nodes []NodeMeasure) []units.Watts {
 	perSim, perAna = clampPartitionCaps(perSim, perAna, nSim, nAna, s.cfg.Constraints)
 
 	s.allocs++
-	return expandPartitionCaps(nodes, perSim, perAna)
+	s.scratch = expandPartitionCapsInto(s.scratch, nodes, perSim, perAna)
+	return s.scratch
 }
 
 // OptimalSplit solves the paper's Eq. 1-2 for the budget split that the

@@ -23,7 +23,6 @@ package cosim
 
 import (
 	"context"
-	"fmt"
 
 	"seesaw/internal/cluster"
 	"seesaw/internal/core"
@@ -112,35 +111,6 @@ type Config struct {
 	Telemetry *telemetry.Hub
 }
 
-// normalize applies defaults.
-func (c *Config) normalize() error {
-	if err := c.Spec.Validate(); err != nil {
-		return err
-	}
-	if c.Policy == nil {
-		c.Policy = core.NewStatic()
-	}
-	// Machine/Rapl zero-value defaults are owned by cluster.Config.Defaults,
-	// the one normalization step shared by every driver.
-	if c.Cost == (mpi.CostModel{}) {
-		c.Cost = mpi.DefaultCost()
-	}
-	nodes := c.Spec.SimNodes + c.Spec.AnaNodes
-	if c.CapMode != CapNone {
-		if err := c.Constraints.Validate(nodes); err != nil {
-			return err
-		}
-		even := core.EvenSplit(c.Constraints, nodes)
-		if c.InitialSimCap == 0 {
-			c.InitialSimCap = even
-		}
-		if c.InitialAnaCap == 0 {
-			c.InitialAnaCap = even
-		}
-	}
-	return nil
-}
-
 // Segment is a span of constant power on one node, for trace resampling.
 type Segment struct {
 	Start    units.Seconds
@@ -174,250 +144,29 @@ type Result struct {
 // Run executes the co-simulation. The context is checked at every
 // synchronization interval: cancelling it makes Run return ctx.Err()
 // promptly with no partial Result.
+//
+// Run is the one-shot composition of the reusable pieces in
+// jobstate.go: it builds the job's episode-invariant state, one node
+// population, and runs a single episode. Callers that evaluate many
+// policies or budgets on one job (the rollout search layer) hold the
+// JobState and Episode themselves and amortize everything but the
+// episode loop.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := cfg.normalize(); err != nil {
-		return nil, err
-	}
-	spec := cfg.Spec
-	nSim, nAna := spec.SimNodes, spec.AnaNodes
-	nTotal := nSim + nAna
-
-	// The cluster layer owns node construction and health: it builds the
-	// same nodes this driver used to wire up itself (so fault-free runs
-	// are unchanged) and applies the fault plan on the virtual clock.
-	cl, err := cluster.New(cluster.Config{
-		SimNodes:      nSim,
-		AnaNodes:      nAna,
-		Rapl:          cfg.Rapl,
-		Machine:       cfg.Machine,
-		Noise:         cfg.Noise,
-		Classes:       cfg.Classes,
-		ClassRegistry: cfg.ClassRegistry,
-		JobSeed:       cfg.Seed,
-		RunSeed:       cfg.RunSeed,
-		Faults:        cfg.Faults,
-		Telemetry:     cfg.Telemetry,
-	})
+	st, err := NewJobState(cfg)
 	if err != nil {
 		return nil, err
 	}
-	var clock units.Seconds
-	policy := core.Instrument(cfg.Policy, cfg.Telemetry, func() float64 { return float64(clock) })
-	// Install initial caps.
-	if cfg.CapMode != CapNone {
-		for i := 0; i < nTotal; i++ {
-			cap := cfg.InitialAnaCap
-			if cl.Role(i) == core.RoleSimulation {
-				cap = cfg.InitialSimCap
-			}
-			cl.Node(i).RAPL().SetLongCap(cap)
-			if cfg.CapMode == CapLongShort {
-				cl.Node(i).RAPL().SetShortCap(cap)
-			}
-		}
+	ep, err := st.NewEpisode()
+	if err != nil {
+		return nil, err
 	}
-
-	// Allocator overhead per synchronization: the measurement Allgather
-	// and the cap Bcast over all nodes, plus the policy's local compute.
-	const policyComputeTime = 2e-6
-	overhead := cfg.Cost.CollectiveCost(nTotal, 32*nTotal) +
-		cfg.Cost.CollectiveCost(nTotal, 8*nTotal) +
-		policyComputeTime
-
-	res := &Result{SyncLog: &trace.SyncLog{}, OverheadPerSync: overhead}
-
-	type intervalEnd struct {
-		step int
-		sync bool
-	}
-	var schedule []intervalEnd
-	for _, s := range spec.SyncSchedule() {
-		schedule = append(schedule, intervalEnd{step: s, sync: true})
-	}
-	if len(schedule) == 0 {
-		return nil, fmt.Errorf("cosim: workload has no synchronization steps")
-	}
-	// A trailing partial interval covers Verlet steps after the last
-	// synchronization.
-	if last := schedule[len(schedule)-1].step; last < spec.Steps {
-		schedule = append(schedule, intervalEnd{step: spec.Steps})
-	}
-
-	busy := make([]units.Seconds, nTotal)
-	measures := make([]core.NodeMeasure, nTotal)
-	lastEnergy := make([]units.Joules, nTotal)
-	var carryOverhead units.Seconds
-
-	// Idle-trough handles resolved once per partition: the per-node
-	// observation inside the synchronization loop must not pay a family
-	// label lookup (and a Role→string conversion) per node per interval.
-	idleSimM := cfg.Telemetry.IdleWaitMetric(core.RoleSimulation.String())
-	idleAnaM := cfg.Telemetry.IdleWaitMetric(core.RoleAnalysis.String())
-
-	prevStep := 0
-	for syncIdx, iv := range schedule {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		step, syncing := iv.step, iv.sync
-
-		// 0. Fault plan: transitions planned for this interval fire
-		// before it executes. A kill shifts the dead node's share of the
-		// partition's domain-decomposed work onto the survivors.
-		if trs := cl.Advance(clock, syncIdx+1); len(trs) > 0 {
-			res.FaultLog = append(res.FaultLog, trs...)
-		}
-		scale := [2]float64{}
-		scale[core.RoleSimulation] = cl.WorkScale(core.RoleSimulation)
-		scale[core.RoleAnalysis] = cl.WorkScale(core.RoleAnalysis)
-
-		simPhases := spec.SimIntervalIdx(prevStep, step, syncIdx)
-		var anaPhases []machine.Phase
-		if syncing {
-			anaPhases = spec.AnaInterval(step)
-		}
-
-		// 1. Execute every live node's interval.
-		for i := 0; i < nTotal; i++ {
-			n := cl.Node(i)
-			if !cl.Alive(i) {
-				busy[i] = 0
-				continue
-			}
-			var t units.Seconds
-			phases := simPhases
-			if cl.Role(i) == core.RoleAnalysis {
-				phases = anaPhases
-			}
-			for _, ph := range phases {
-				if s := scale[cl.Role(i)]; s != 1 {
-					ph.Nominal = units.Seconds(float64(ph.Nominal) * s)
-				}
-				exec := n.Run(ph, cfg.Noise)
-				t += exec.Duration
-				if cfg.TraceSegments && (i == 0 || i == nSim) {
-					seg := Segment{Start: clock + t - exec.Duration, Duration: exec.Duration, Power: exec.Power}
-					if i == 0 {
-						res.SimSegments = append(res.SimSegments, seg)
-					} else {
-						res.AnaSegments = append(res.AnaSegments, seg)
-					}
-				}
-			}
-			// The previous allocation's overhead is part of this
-			// interval's runtime (the paper's measurement convention).
-			t += carryOverhead
-			busy[i] = t
-		}
-
-		// 2. Synchronization: the slower partition sets the wall time.
-		var wall units.Seconds
-		for _, t := range busy {
-			if t > wall {
-				wall = t
-			}
-		}
-		for i := 0; i < nTotal; i++ {
-			if !cl.Alive(i) {
-				continue
-			}
-			if wait := wall - busy[i]; wait > 0 {
-				exec := cl.Node(i).Idle(wait)
-				idleM := idleSimM
-				if cl.Role(i) == core.RoleAnalysis {
-					idleM = idleAnaM
-				}
-				if idleM != nil {
-					idleM.Observe(float64(wait))
-				}
-				if cfg.TraceSegments && (i == 0 || i == nSim) {
-					seg := Segment{Start: clock + busy[i], Duration: wait, Power: exec.Power}
-					if i == 0 {
-						res.SimSegments = append(res.SimSegments, seg)
-					} else {
-						res.AnaSegments = append(res.AnaSegments, seg)
-					}
-				}
-			}
-		}
-		clock += wall
-
-		// 3. Measurements, exactly as PoLiMER reports them. The epoch
-		// time additionally folds in part of the synchronization wait,
-		// as a loop-level monitor (GEOPM) would observe it. Dead nodes
-		// report zeroed measures (Cap 0 keeps the allocators from
-		// re-injecting a corpse's stale cap into the budget pool).
-		for i := 0; i < nTotal; i++ {
-			n := cl.Node(i)
-			if !cl.Alive(i) {
-				measures[i] = core.NodeMeasure{NodeID: i, Health: core.Dead, Role: cl.Role(i)}
-				continue
-			}
-			e := n.RAPL().Energy() - lastEnergy[i]
-			lastEnergy[i] = n.RAPL().Energy()
-			measures[i] = core.NodeMeasure{
-				NodeID:    i,
-				Health:    cl.Health(i),
-				Role:      cl.Role(i),
-				Time:      wall, // allocator-to-allocator interval: work + sync wait
-				BusyTime:  busy[i],
-				EpochTime: busy[i] + (wall-busy[i])*epochWaitShare,
-				Power:     units.AvgPower(e, wall),
-				Cap:       n.RAPL().LongCap(),
-				// Zero on a homogeneous cluster, so single-class runs
-				// take the allocators' legacy uniform path unchanged.
-				NodeCapability: cl.Capability(i),
-			}
-		}
-		rec := buildRecord(syncIdx+1, measures, nSim, overhead)
-		res.SyncLog.Add(rec)
-		if cfg.Telemetry != nil {
-			cfg.Telemetry.SyncBarrier(float64(clock), rec.Step,
-				float64(wall), float64(rec.SimTime), float64(rec.AnaTime), rec.Slack(), float64(overhead))
-			// Job-level budget check: summed measured power against the
-			// global budget (small tolerance for enforcement slack). Dead
-			// nodes draw nothing, so the sum covers live nodes only.
-			if cfg.CapMode != CapNone && cfg.Constraints.Budget > 0 {
-				aliveSim, aliveAna := cl.AliveCounts()
-				total := float64(rec.SimPower)*float64(aliveSim) + float64(rec.AnaPower)*float64(aliveAna)
-				if budget := float64(cfg.Constraints.Budget); total > budget*1.01 {
-					cfg.Telemetry.BudgetViolation(float64(clock), "job", total, budget, true)
-				}
-			}
-		}
-
-		// 4. Policy invocation and cap writes.
-		carryOverhead = 0
-		if syncing && cfg.CapMode != CapNone {
-			caps := policy.Allocate(syncIdx+1, measures)
-			if caps != nil {
-				for i := 0; i < nTotal; i++ {
-					n := cl.Node(i)
-					if cl.Alive(i) && caps[i] > 0 && caps[i] != n.RAPL().LongCap() {
-						n.RAPL().SetLongCap(caps[i])
-						if cfg.CapMode == CapLongShort {
-							n.RAPL().SetShortCap(caps[i])
-						}
-					}
-				}
-			}
-			carryOverhead = overhead
-		}
-
-		prevStep = step
-	}
-
-	res.TotalTime = clock
-	res.FinalCaps = make([]units.Watts, nTotal)
-	for i := 0; i < nTotal; i++ {
-		res.TotalEnergy += cl.Node(i).RAPL().Energy()
-		res.FinalCaps[i] = cl.Node(i).RAPL().LongCap()
-	}
-	res.AliveSim, res.AliveAna = cl.AliveCounts()
-	return res, nil
+	return ep.Run(ctx, EpisodeParams{
+		Policy:        cfg.Policy,
+		Constraints:   cfg.Constraints,
+		InitialSimCap: cfg.InitialSimCap,
+		InitialAnaCap: cfg.InitialAnaCap,
+		CapMode:       cfg.CapMode,
+	})
 }
 
 // epochWaitShare is the fraction of the synchronization wait a

@@ -46,27 +46,47 @@ func FindBestStaticSplit(ctx context.Context, cfg Config, stepW units.Watts) (*O
 	if stepW <= 0 {
 		return nil, fmt.Errorf("cosim: oracle step must be positive, got %v", stepW)
 	}
-	if err := cfg.normalize(); err != nil {
+	// One JobState and one node population serve the whole sweep: every
+	// candidate differs only in its initial caps, which are episode
+	// parameters. Each ep.Run is byte-identical to a fresh cosim.Run
+	// (the pooling goldens pin this), so the oracle's answers are
+	// unchanged while the sweep skips per-candidate cluster builds.
+	st, err := NewJobState(cfg)
+	if err != nil {
 		return nil, err
 	}
 	nSim := cfg.Spec.SimNodes
 	nAna := cfg.Spec.AnaNodes
+	if cfg.CapMode != CapNone {
+		if err := cfg.Constraints.Validate(nSim + nAna); err != nil {
+			return nil, err
+		}
+	}
+	ep, err := st.NewEpisode()
+	if err != nil {
+		return nil, err
+	}
 	budget := cfg.Constraints.Budget
 	min, max := cfg.Constraints.MinCap, cfg.Constraints.MaxCap
 
 	res := &OracleResult{}
 	even := core.EvenSplit(cfg.Constraints, nSim+nAna)
+	evaluate := func(simCap, anaCap units.Watts) (*Result, error) {
+		return ep.Run(ctx, EpisodeParams{
+			// Policy nil runs the static policy.
+			Constraints:   cfg.Constraints,
+			InitialSimCap: simCap,
+			InitialAnaCap: anaCap,
+			CapMode:       cfg.CapMode,
+		})
+	}
 
 	for simCap := min; simCap <= max; simCap += stepW {
 		anaCap := (budget - simCap*units.Watts(nSim)) / units.Watts(nAna)
 		if anaCap < min || anaCap > max {
 			continue
 		}
-		run := cfg
-		run.Policy = nil // normalize() installs static
-		run.InitialSimCap = simCap
-		run.InitialAnaCap = anaCap
-		out, err := Run(ctx, run)
+		out, err := evaluate(simCap, anaCap)
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +105,7 @@ func FindBestStaticSplit(ctx context.Context, cfg Config, stepW units.Watts) (*O
 	}
 	if res.EvenTime == 0 {
 		// The sweep grid missed the exact even split; run it directly.
-		run := cfg
-		run.Policy = nil
-		run.InitialSimCap = even
-		run.InitialAnaCap = even
-		out, err := Run(ctx, run)
+		out, err := evaluate(even, even)
 		if err != nil {
 			return nil, err
 		}

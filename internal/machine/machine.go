@@ -44,6 +44,12 @@ type Phase struct {
 	// with power (Amdahl-style); the rest is power-insensitive
 	// (communication, I/O waits).
 	Sensitivity float64
+
+	// refPerf caches the model's perf(Demand, Saturation) for a
+	// device-adapted phase (filled by adapt, zero on user-constructed
+	// phases): the reference point is invariant per (model, phase), so
+	// pre-adapted tables pay it once per job instead of per execution.
+	refPerf float64
 }
 
 // Validate reports a descriptive error if the phase parameters are
@@ -123,6 +129,7 @@ func (m Model) adapt(ph Phase) Phase {
 		ph.Demand = units.Watts(float64(ph.Demand) * ps)
 		ph.Saturation = units.Watts(float64(ph.Saturation) * ps)
 	}
+	ph.refPerf = m.perf(ph.Demand, ph.Saturation)
 	return ph
 }
 
@@ -232,6 +239,9 @@ type Node struct {
 	runSkew     float64
 	dualRunSkew float64
 	jitter      *rng.Stream
+	// jitter0 is the jitter stream's initial value, kept so Reset can
+	// rewind the (consumed-during-run) stream for pooled episode reuse.
+	jitter0 rng.Stream
 
 	// slowFactor is a settable excursion multiplier on phase durations
 	// (1 = nominal). The cluster layer drives it from fault plans to
@@ -259,6 +269,7 @@ func NewNodeWithSeeds(id int, cfg rapl.Config, model Model, noise NoiseModel, jo
 	effStream := rng.DeriveIndexed(jobSeed, "node-poweff", id)
 	runStream := rng.DeriveIndexed(runSeed, "node-runskew", id)
 	dualStream := rng.DeriveIndexed(runSeed, "node-dualskew", id)
+	jitter := rng.DeriveIndexed(runSeed, "node-jitter", id)
 	return &Node{
 		id:          id,
 		rapl:        rapl.MustNewDomain(cfg),
@@ -268,8 +279,22 @@ func NewNodeWithSeeds(id int, cfg rapl.Config, model Model, noise NoiseModel, jo
 		runSkew:     runStream.LogNormFactor(noise.RunSigma),
 		dualRunSkew: dualStream.LogNormFactor(noise.DualRunSigma),
 		slowFactor:  1,
-		jitter:      rng.DeriveIndexed(runSeed, "node-jitter", id),
+		jitter:      jitter,
+		jitter0:     *jitter,
 	}
+}
+
+// Reset returns the node to its just-constructed state for pooled
+// episode reuse: the RAPL domain rewinds to time zero, the jitter
+// stream to its initial seed, and the busy/idle accounting and slow
+// factor clear. The seed-derived skews are immutable during runs and
+// stay as drawn, so a reset node replays exactly the execution sequence
+// of a freshly built node with the same seeds.
+func (n *Node) Reset() {
+	n.rapl.Reset()
+	*n.jitter = n.jitter0
+	n.slowFactor = 1
+	n.busy, n.idle = 0, 0
 }
 
 // ID returns the node identifier.
@@ -334,21 +359,60 @@ func (n *Node) Run(ph Phase, noise NoiseModel) Execution {
 	if err := ph.Validate(n.model); err != nil {
 		panic(err)
 	}
+	return n.runAdapted(&ph, &noise)
+}
+
+// ValidatePhase checks a phase against this device exactly as Run
+// would (after device adaptation). Drivers that pre-validate their
+// phase tables once pair it with Node.RunTrusted.
+func (m Model) ValidatePhase(ph Phase) error { return m.adapt(ph).Validate(m) }
+
+// RunTrusted is Run for drivers that pre-validate their phase tables
+// once per job (the pooled episode fast path): it skips the
+// per-execution Validate call and is byte-identical to Run for any
+// phase Run would accept.
+func (n *Node) RunTrusted(ph Phase, noise NoiseModel) Execution {
+	ph = n.model.adapt(ph)
+	return n.runAdapted(&ph, &noise)
+}
+
+// Adapt returns the phase as this model's device class executes it
+// (speed factor applied to the nominal time, power scale to the power
+// points). It is the per-execution adaptation RunTrusted performs,
+// exposed so drivers can pre-adapt immutable phase tables once per job.
+func (m Model) Adapt(ph Phase) Phase { return m.adapt(ph) }
+
+// RunAdapted executes a phase that was already adapted by — and
+// validated against — this node's model (via Adapt/ValidatePhase). It
+// is byte-identical to RunTrusted on the unadapted phase; the pooled
+// episode fast path uses it with pre-adapted tables so neither the
+// adaptation nor the phase and noise-model copies are paid per
+// execution. The phase and noise model are read, never retained.
+func (n *Node) RunAdapted(ph *Phase, noise *NoiseModel) Execution {
+	return n.runAdapted(ph, noise)
+}
+
+// runAdapted executes an already device-adapted phase.
+func (n *Node) runAdapted(ph *Phase, noise *NoiseModel) Execution {
 	if ph.Nominal == 0 {
 		return Execution{}
 	}
-	allowed := n.rapl.SustainedAllowed(ph.Demand)
+	allowed, dual := n.rapl.Grant(ph.Demand)
 	drawn := ph.Demand
 	if drawn > allowed {
 		drawn = allowed
 	}
 	throttled := allowed < ph.Demand
-	dual := n.rapl.ShortCap() > 0 && n.rapl.LongCap() > 0
 
 	// Reference performance is at the phase's own unconstrained demand.
 	// The node's power-efficiency skew shifts how much performance the
-	// drawn power actually buys.
-	refPerf := n.model.perf(ph.Demand, ph.Saturation)
+	// drawn power actually buys. adapt caches the reference point in
+	// the phase; a zero cache (possible only when the model's floor
+	// puts the reference at exactly 0) recomputes the same value.
+	refPerf := ph.refPerf
+	if refPerf == 0 {
+		refPerf = n.model.perf(ph.Demand, ph.Saturation)
+	}
 	curPerf := n.model.perf(units.Watts(float64(drawn)*n.powerEff), ph.Saturation)
 	slowdown := 1 - ph.Sensitivity + ph.Sensitivity*refPerf/curPerf
 
@@ -365,8 +429,8 @@ func (n *Node) Run(ph Phase, noise NoiseModel) Execution {
 	// fluctuates around the regulated level.
 	if noise.PowerSigma > 0 {
 		drawn = units.Watts(float64(drawn) * n.jitter.Jitter(noise.PowerSigma))
-		if drawn > n.rapl.Config().TDP {
-			drawn = n.rapl.Config().TDP
+		if tdp := n.rapl.TDP(); drawn > tdp {
+			drawn = tdp
 		}
 	}
 

@@ -124,6 +124,26 @@ func New(name string, cons core.Constraints, w int) (core.Policy, error) {
 	return e.factory(cons, w)
 }
 
+// Lookup resolves the named policy's factory once, for callers that
+// construct many instances of one policy (the batched rollout layer):
+// the registry lock and name resolution are paid at lookup, not per
+// construction. The returned factory applies the same w >= 1 validation
+// New does. An unregistered name returns *UnknownPolicyError.
+func Lookup(name string) (Factory, error) {
+	mu.RLock()
+	e, ok := registry[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, &UnknownPolicyError{Name: name, Valid: Names()}
+	}
+	return func(cons core.Constraints, w int) (core.Policy, error) {
+		if w <= 0 {
+			return nil, fmt.Errorf("policy: window must be >= 1, got %d", w)
+		}
+		return e.factory(cons, w)
+	}, nil
+}
+
 // Valid reports whether name is registered.
 func Valid(name string) bool {
 	mu.RLock()

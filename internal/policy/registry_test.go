@@ -173,3 +173,31 @@ func TestInfosDescribeEveryBuiltin(t *testing.T) {
 		}
 	}
 }
+
+// TestLookup: the resolved factory builds the same policy New does,
+// applies the same window validation, and unknown names carry the
+// registry's valid list.
+func TestLookup(t *testing.T) {
+	fac, err := Lookup("seesaw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fac(testConstraints(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := New("seesaw", testConstraints(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != want.Name() {
+		t.Errorf("Lookup factory built %q, New built %q", got.Name(), want.Name())
+	}
+	if _, err := fac(testConstraints(), 0); err == nil {
+		t.Error("factory accepted w=0")
+	}
+	var unknown *UnknownPolicyError
+	if _, err := Lookup("nope"); !errors.As(err, &unknown) {
+		t.Errorf("Lookup(nope) = %v, want *UnknownPolicyError", err)
+	}
+}

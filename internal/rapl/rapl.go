@@ -48,6 +48,15 @@ type Config struct {
 	// paper observes that "RAPL limits the power slightly below the
 	// requested power" in that configuration.
 	DualCapMargin float64
+	// SustainedOnly declares that the domain's consumers only query the
+	// sustained enforcement level (SustainedAllowed), never the
+	// transient window behaviour (Allowed, WindowAverage). The domain
+	// then skips the per-Advance moving-average bookkeeping — unless a
+	// telemetry site is attached, which needs the window to report
+	// enforcement violations. The co-simulated cluster sets this: the
+	// phase execution model integrates whole phases, far longer than
+	// the 1 s window, so transient headroom never applies.
+	SustainedOnly bool
 }
 
 // Theta returns the RAPL configuration of a Theta KNL 7230 node.
@@ -145,6 +154,10 @@ func MustNewDomain(cfg Config) *Domain {
 // Config returns the domain's hardware configuration.
 func (d *Domain) Config() Config { return d.cfg }
 
+// TDP returns the domain's thermal design power without copying the
+// whole configuration — the execution model reads it per phase.
+func (d *Domain) TDP() units.Watts { return d.cfg.TDP }
+
 // SetTelemetry attaches a telemetry hub: cap writes, throttle
 // engagements and enforcement-window violations are reported under the
 // given label. Metrics cover every attached domain; structured events
@@ -176,7 +189,9 @@ func (d *Domain) SetLongCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency})
-	d.site.CapWritten(float64(d.now), d.telName, float64(w), false)
+	if d.site != nil {
+		d.site.CapWritten(float64(d.now), d.telName, float64(w), false)
+	}
 }
 
 // SetShortCap requests a new short-term power cap with the same clamping
@@ -187,7 +202,9 @@ func (d *Domain) SetShortCap(w units.Watts) {
 		w = units.ClampWatts(w, d.cfg.MinCap, d.cfg.TDP)
 	}
 	d.pending = append(d.pending, pendingCap{value: w, applyAt: d.now + d.cfg.ActuationLatency, shortCap: true})
-	d.site.CapWritten(float64(d.now), d.telName, float64(w), true)
+	if d.site != nil {
+		d.site.CapWritten(float64(d.now), d.telName, float64(w), true)
+	}
 }
 
 // LongCap returns the currently effective long-term cap (0 if uncapped).
@@ -204,6 +221,9 @@ func (d *Domain) ShortCap() units.Watts {
 
 // applyPending activates cap writes whose latency has elapsed.
 func (d *Domain) applyPending() {
+	if len(d.pending) == 0 {
+		return
+	}
 	remaining := d.pending[:0]
 	for _, p := range d.pending {
 		if p.applyAt <= d.now {
@@ -336,6 +356,40 @@ func (d *Domain) SustainedAllowed(demand units.Watts) units.Watts {
 	return allowed
 }
 
+// Grant is SustainedAllowed plus the dual-cap regulation flag in one
+// call: the phase execution model needs both per execution, and the
+// separate accessors each re-check the pending cap queue. The allowance
+// is computed exactly as SustainedAllowed computes it.
+func (d *Domain) Grant(demand units.Watts) (allowed units.Watts, dual bool) {
+	d.applyPending()
+	allowed = demand
+	if allowed > d.cfg.TDP {
+		allowed = d.cfg.TDP
+	}
+	if d.longCap > 0 {
+		target := d.longCap
+		if d.shortCap > 0 {
+			target = units.Watts(float64(target) * (1 - d.cfg.DualCapMargin))
+			dual = true
+		}
+		if allowed > target {
+			allowed = target
+		}
+	}
+	if d.shortCap > 0 && allowed > d.shortCap {
+		allowed = d.shortCap
+	}
+	if allowed < 0 {
+		allowed = 0
+	}
+	if d.site != nil {
+		// noteThrottle is a no-op without a site; guarding here keeps
+		// the call out of the uninstrumented hot path.
+		d.noteThrottle(demand, allowed)
+	}
+	return allowed, dual
+}
+
 // Advance moves virtual time forward by dt with the domain drawing p
 // Watts throughout, updating the energy counter and the enforcement
 // window. dt must be non-negative.
@@ -347,26 +401,50 @@ func (d *Domain) Advance(dt units.Seconds, p units.Watts) {
 		return
 	}
 	d.now += dt
-	d.applyPending()
 	d.energy += units.Energy(p, dt)
+	if d.cfg.SustainedOnly && d.site == nil {
+		// Nothing can observe the window: no transient queries by
+		// declaration, no violation telemetry without a site. Pending
+		// cap writes stay queued — every cap consumer applies them
+		// against the advanced clock before reading, so deferring the
+		// apply to the next read is indistinguishable.
+		return
+	}
+	d.advanceWindow(dt, p)
+}
+
+// advanceWindow is Advance's slow half: the moving-average window fold
+// and the violation telemetry. Outlined so Advance itself stays within
+// the inlining budget for the sustained-only hot path.
+func (d *Domain) advanceWindow(dt units.Seconds, p units.Watts) {
+	d.applyPending()
+	e := units.Energy(p, dt)
 
 	// Fold the sample into the moving-average window and trim it back
-	// to LongWindow seconds.
+	// to LongWindow seconds. Consumed head samples are compacted with a
+	// single copy instead of resliced away: reslicing moves the slice
+	// start forward so the next append eventually reallocates, and that
+	// churn was the dominant allocation of whole co-simulated episodes.
 	d.window = append(d.window, sample{dt: dt, p: p})
-	d.windowJ += units.Energy(p, dt)
+	d.windowJ += e
 	d.windowLen += dt
-	for d.windowLen > d.cfg.LongWindow && len(d.window) > 0 {
-		head := d.window[0]
+	drop := 0
+	for d.windowLen > d.cfg.LongWindow && drop < len(d.window) {
+		head := d.window[drop]
 		excess := d.windowLen - d.cfg.LongWindow
 		if head.dt <= excess {
-			d.window = d.window[1:]
+			drop++
 			d.windowLen -= head.dt
 			d.windowJ -= units.Energy(head.p, head.dt)
 		} else {
-			d.window[0].dt -= excess
+			d.window[drop].dt -= excess
 			d.windowLen -= excess
 			d.windowJ -= units.Energy(head.p, excess)
 		}
+	}
+	if drop > 0 {
+		n := copy(d.window, d.window[drop:])
+		d.window = d.window[:n]
 	}
 
 	// Enforcement-window violation telemetry: the window average rising
@@ -390,3 +468,19 @@ func (d *Domain) Advance(dt units.Seconds, p units.Watts) {
 // WindowAverage exposes the long-window average power, mainly for tests
 // and monitoring.
 func (d *Domain) WindowAverage() units.Watts { return d.windowAvg() }
+
+// Reset returns the domain to its just-constructed state — virtual time
+// zero, zero energy, no caps, empty enforcement window — while keeping
+// the configuration, the telemetry attachment and the backing arrays,
+// so pooled episodes reuse one Domain without reallocating its window
+// or pending-write storage. A reset domain is indistinguishable from
+// NewDomain's result in every observable.
+func (d *Domain) Reset() {
+	d.now, d.energy = 0, 0
+	d.longCap, d.shortCap = 0, 0
+	d.pending = d.pending[:0]
+	d.window = d.window[:0]
+	d.windowJ, d.windowLen = 0, 0
+	d.capWrites = 0
+	d.throttled, d.violating = false, false
+}

@@ -3,11 +3,19 @@
 // one full episode driven through the Env step API with a
 // registry-constructed policy, so batch throughput measures the whole
 // policy-search loop, not a shortcut around it.
+//
+// Each worker owns one Env (via the campaign worker-state hook), and
+// every Env shares one StateCache, so a sweep pays each distinct job's
+// precompute once and each worker's node population is rebuilt only
+// when its cell stream crosses to a different job. Grid enumeration
+// orders points so cells of one job are consecutive, which is what
+// makes the per-worker single-entry episode pool effective.
 package rollout
 
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"seesaw/internal/campaign"
 	"seesaw/internal/fault"
@@ -64,6 +72,22 @@ func Batch(ctx context.Context, points []Point, o Options) ([]Outcome, error) {
 	if name == "" {
 		name = "search"
 	}
+
+	// Factories resolved once per distinct policy name; an unknown name
+	// still fails per cell (the cells that use it), not the whole batch.
+	type lookup struct {
+		fac policy.Factory
+		err error
+	}
+	factories := map[string]lookup{}
+	for _, p := range points {
+		if _, ok := factories[p.Policy]; !ok {
+			fac, err := policy.Lookup(p.Policy)
+			factories[p.Policy] = lookup{fac: fac, err: err}
+		}
+	}
+
+	cache := NewStateCache()
 	cells := make([]campaign.Cell, len(points))
 	for i, p := range points {
 		cells[i] = campaign.Cell{
@@ -74,16 +98,28 @@ func Batch(ctx context.Context, points []Point, o Options) ([]Outcome, error) {
 				if w < 1 {
 					w = 1
 				}
+				lk := factories[p.Policy]
+				if lk.err != nil {
+					return nil, lk.err
+				}
 				n := p.Spec.Workload.SimNodes + p.Spec.Workload.AnaNodes
-				pol, err := policy.New(p.Policy, p.Spec.constraints(n), w)
+				pol, err := lk.fac(p.Spec.constraints(n), w)
 				if err != nil {
 					return nil, err
+				}
+				if env, ok := campaign.WorkerValue(ctx).(*Env); ok {
+					return env.Rollout(ctx, p.Spec, pol)
 				}
 				return Run(ctx, p.Spec, pol)
 			},
 		}
 	}
-	rs, err := campaign.Run(ctx, cells, campaign.Options{Name: name, Jobs: o.Jobs, Telemetry: o.Telemetry})
+	rs, err := campaign.Run(ctx, cells, campaign.Options{
+		Name:        name,
+		Jobs:        o.Jobs,
+		Telemetry:   o.Telemetry,
+		WorkerState: func() any { return NewEnvWith(cache) },
+	})
 	outs := make([]Outcome, len(points))
 	for i, r := range rs {
 		outs[i] = Outcome{Point: points[i], Err: r.Err}
@@ -181,22 +217,49 @@ func (g Grid) Expand() ([]Point, error) {
 		}
 	}
 
-	var points []Point
-	for _, nodes := range axis(g.Nodes, 8) {
-		for _, budget := range axis(g.Budgets, defaultCapPerNode) {
-			for _, w := range axis(g.Windows, 1) {
-				for _, dim := range axis(g.Dims, 16) {
-					for _, fp := range axis(g.Faults, "") {
+	// Scalar knobs that default in most grids appear in point keys only
+	// when they deviate, so default grids keep their established keys
+	// while two grids differing in steps/j/analyses/seed can never
+	// collide on a key.
+	var extra string
+	if steps != 400 {
+		extra += fmt.Sprintf("steps%d/", steps)
+	}
+	if j != 1 {
+		extra += fmt.Sprintf("j%d/", j)
+	}
+	if len(analyses) != 1 || analyses[0] != "msd" {
+		extra += "an=" + strings.Join(analyses, "+") + "/"
+	}
+	if seed != 1 {
+		extra += fmt.Sprintf("seed%d/", seed)
+	}
+
+	nodesAx := axis(g.Nodes, 8)
+	budgetsAx := axis(g.Budgets, defaultCapPerNode)
+	windowsAx := axis(g.Windows, 1)
+	dimsAx := axis(g.Dims, 16)
+	faultsAx := axis(g.Faults, "")
+	classesAx := axis(g.Classes, "")
+	toposAx := axis(g.Topologies, "")
+
+	points := make([]Point, 0, len(nodesAx)*len(budgetsAx)*len(windowsAx)*
+		len(dimsAx)*len(faultsAx)*len(classesAx)*len(toposAx)*len(policies))
+	for _, nodes := range nodesAx {
+		for _, budget := range budgetsAx {
+			for _, w := range windowsAx {
+				for _, dim := range dimsAx {
+					for _, fp := range faultsAx {
 						plan, err := fault.Parse(fp)
 						if err != nil {
 							return nil, fmt.Errorf("rollout: %w", err)
 						}
-						for _, cs := range axis(g.Classes, "") {
+						for _, cs := range classesAx {
 							classes, err := machine.ParseClassMap(cs)
 							if err != nil {
 								return nil, fmt.Errorf("rollout: %w", err)
 							}
-							for _, topo := range axis(g.Topologies, "") {
+							for _, topo := range toposAx {
 								for _, pol := range policies {
 									// The classes segment is inserted before the
 									// policy only when heterogeneous, so class-free
@@ -206,8 +269,8 @@ func (g Grid) Expand() ([]Point, error) {
 									if cs != "" {
 										het = "classes=" + cs + "/"
 									}
-									key := fmt.Sprintf("n%d/b%g/w%d/dim%d/faults=%s/topo=%s/%s%s",
-										nodes, float64(budget), w, dim, orNone(fp), orName(topo), het, pol)
+									key := fmt.Sprintf("n%d/b%g/w%d/dim%d/%sfaults=%s/topo=%s/%s%s",
+										nodes, float64(budget), w, dim, extra, orNone(fp), orName(topo), het, pol)
 									points = append(points, Point{
 										Key: key,
 										Spec: Spec{

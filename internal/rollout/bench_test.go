@@ -7,28 +7,68 @@ import (
 
 	"seesaw/internal/machine"
 	"seesaw/internal/policy"
+	"seesaw/internal/units"
 	"seesaw/internal/workload"
 )
 
-// BenchmarkRollouts is the headline throughput number: complete
-// policy-search episodes per second through the Env step API — driver
-// goroutine, channel rendezvous, registry policy construction and all.
-// Episode shape mirrors BenchmarkTopologies' scale points (dim 8, 4
+// benchSpec is the scale point the rollout benchmarks share: episode
+// shape mirrors BenchmarkTopologies' scale points (dim 8, 4
 // synchronized steps) so the substrate cost is comparable across the
 // two benchmarks.
+func benchSpec(nodes int) Spec {
+	return Spec{
+		Workload: workload.Spec{
+			SimNodes: nodes / 2, AnaNodes: nodes / 2,
+			Dim: 8, J: 1, Steps: 4,
+			Analyses: workload.Tasks("msd"),
+		},
+		Seed:    11,
+		RunSeed: 12,
+		Noise:   machine.DefaultNoise(),
+	}
+}
+
+// BenchmarkRollouts is the headline throughput number: complete
+// policy-search episodes per second through Env.Rollout — registry
+// policy construction and all — on the pooled single-worker path Batch
+// workers run (one Env reused across episodes, as a sweep over
+// budgets/policies replays one job). Rollout takes the direct
+// in-process path, bypassing the step-API rendezvous the goldens and
+// TestStepZeroAllocs exercise; both produce identical bytes.
 func BenchmarkRollouts(b *testing.B) {
+	for _, nodes := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			spec := benchSpec(nodes)
+			cons := spec.constraints(nodes)
+			fac, err := policy.Lookup("seesaw")
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := NewEnv()
+			defer env.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pol, err := fac(cons, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := env.Rollout(context.Background(), spec, pol); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rollouts/sec")
+		})
+	}
+}
+
+// BenchmarkRolloutsFresh is the unpooled baseline: a throwaway Env per
+// episode, cluster rebuilt every run. The gap to BenchmarkRollouts is
+// what the episode pool buys.
+func BenchmarkRolloutsFresh(b *testing.B) {
 	for _, nodes := range []int{256, 1024} {
 		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
-			spec := Spec{
-				Workload: workload.Spec{
-					SimNodes: nodes / 2, AnaNodes: nodes / 2,
-					Dim: 8, J: 1, Steps: 4,
-					Analyses: workload.Tasks("msd"),
-				},
-				Seed:    11,
-				RunSeed: 12,
-				Noise:   machine.DefaultNoise(),
-			}
+			spec := benchSpec(nodes)
 			cons := spec.constraints(nodes)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -41,6 +81,40 @@ func BenchmarkRollouts(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rollouts/sec")
+		})
+	}
+}
+
+// BenchmarkRolloutsBatch measures batch scaling: one iteration fans a
+// 16-point budget/policy sweep of a single 256-node job across the
+// campaign pool at the given concurrency, exercising the shared
+// JobState cache and the per-worker episode pools together.
+func BenchmarkRolloutsBatch(b *testing.B) {
+	points, err := Grid{
+		Nodes:    []int{256},
+		Dims:     []int{8},
+		Steps:    4,
+		Budgets:  []units.Watts{105, 110, 115, 120},
+		Policies: []string{"seesaw", "time-aware", "power-aware", "static"},
+	}.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outs, err := Batch(context.Background(), points, Options{Jobs: jobs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, o := range outs {
+					if o.Err != nil {
+						b.Fatal(o.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*len(points))/b.Elapsed().Seconds(), "rollouts/sec")
 		})
 	}
 }

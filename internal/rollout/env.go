@@ -12,10 +12,17 @@
 //
 // The environment is byte-identical to in-loop policy execution: an
 // Env run is the existing cosim / workflow driver with the policy
-// callback inverted into a channel rendezvous, so a registry policy
-// driven through Env reproduces exactly the report bytes of the same
-// policy run inside the driver (the golden test pins this). One
-// rollout of 4096 nodes takes ~130 ms, so batched rollouts over the
+// callback inverted into a condition-variable rendezvous, so a
+// registry policy driven through Env reproduces exactly the report
+// bytes of the same policy run inside the driver (the golden tests pin
+// this, for fresh and pooled episodes alike).
+//
+// The step path is allocation-free at steady state: one driver
+// goroutine per Env parks between episodes, observations are published
+// through a double-buffered measure slice owned by the Env, and
+// space-shared episodes replay a pooled cosim.Episode over a shared
+// cosim.JobState instead of rebuilding the node population per run
+// (see DESIGN.md, "Rollout fast path"). Batched rollouts over the
 // campaign engine (Batch) reach thousands of policy evaluations per
 // second — the "millions of runs" scale story.
 package rollout
@@ -23,6 +30,7 @@ package rollout
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"seesaw/internal/core"
 	"seesaw/internal/cosim"
@@ -60,6 +68,8 @@ type Spec struct {
 	// grammar); nil keeps the cluster homogeneous.
 	Classes *machine.ClassMap
 	// Telemetry, when non-nil, instruments the underlying run.
+	// Instrumented episodes bypass the episode pool: telemetry counters
+	// are cumulative per node population, so each run gets a fresh one.
 	Telemetry *telemetry.Hub
 }
 
@@ -86,9 +96,42 @@ func (s Spec) constraints(physicalNodes int) core.Constraints {
 	}
 }
 
+// jobKey identifies the episode-invariant part of a space-shared spec:
+// everything cosim.NewJobState reads plus the cluster seeds and noise.
+// Budget, window and policy are episode parameters and stay out of the
+// key, so a grid sweep over them shares one cosim.JobState.
+func (s Spec) jobKey() string {
+	w := s.Workload
+	return fmt.Sprintf("n%d+%d/dim%d/j%d/steps%d/an=%v/nst=%t/seed=%d.%d/noise=%+v/faults=%s/classes=%s",
+		w.SimNodes, w.AnaNodes, w.Dim, w.J, w.Steps, w.Analyses, w.NoSetupTransient,
+		s.Seed, s.RunSeed, s.Noise, s.Faults, s.Classes)
+}
+
+// cosimConfig assembles the space-shared driver configuration.
+func (s Spec) cosimConfig(pol core.Policy) cosim.Config {
+	return cosim.Config{
+		Spec:        s.Workload,
+		Policy:      pol,
+		Constraints: s.constraints(s.Workload.SimNodes + s.Workload.AnaNodes),
+		CapMode:     cosim.CapLong,
+		Seed:        s.Seed,
+		RunSeed:     s.RunSeed,
+		Noise:       s.Noise,
+		Faults:      s.Faults,
+		Classes:     s.Classes,
+		Telemetry:   s.Telemetry,
+	}
+}
+
 // Observation is what the environment exposes between actions: the
 // per-node measurements the in-loop policy would have received, plus
 // the slack/phase aggregates the telemetry layer computes from them.
+//
+// Measures aliases a buffer owned by the Env and is only valid until
+// the next Step, Reset or Close call on that Env. Callers that retain
+// an observation across steps (replay buffers, logging) must take a
+// Clone first; callers that act on it immediately — every policy's
+// Allocate — read it for free.
 type Observation struct {
 	// Step is the 1-based synchronization index.
 	Step int
@@ -104,6 +147,13 @@ type Observation struct {
 	SimPower, AnaPower units.Watts
 	// AliveSim and AliveAna are the partitions' live node counts.
 	AliveSim, AliveAna int
+}
+
+// Clone returns a copy of the observation whose Measures are owned by
+// the caller, for retention past the Env's reuse window.
+func (o Observation) Clone() Observation {
+	o.Measures = append([]core.NodeMeasure(nil), o.Measures...)
+	return o
 }
 
 // aggregate fills the observation's partition aggregates from its
@@ -155,88 +205,287 @@ type Result struct {
 	Workflow *workflow.Result
 }
 
-// proxy inverts the Policy callback into a channel rendezvous: the
-// driver's Allocate call publishes the measurements as an observation
-// and blocks until the environment's Step supplies the caps. The
-// context unblocks both directions when the episode is abandoned.
-type proxy struct {
-	ctx  context.Context
-	obs  chan Observation
-	caps chan []units.Watts
+// StateCache shares cosim.JobState precompute across environments: one
+// entry per distinct job key (workload, topology seeds, noise, faults,
+// classes), built once and then read-only. A cache is safe for
+// concurrent use; Batch hands one cache to every worker's Env so a grid
+// sweep pays each job's schedule/phase-table construction exactly once.
+type StateCache struct {
+	mu sync.Mutex
+	m  map[string]*cosim.JobState
 }
 
+// NewStateCache returns an empty cache.
+func NewStateCache() *StateCache {
+	return &StateCache{m: map[string]*cosim.JobState{}}
+}
+
+// state returns the cached JobState for key, building it from cfg on
+// first use.
+func (c *StateCache) state(key string, cfg cosim.Config) (*cosim.JobState, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.m[key]; ok {
+		return st, nil
+	}
+	st, err := cosim.NewJobState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = st
+	return st, nil
+}
+
+// envProxy is the core.Policy the drivers run: its Allocate publishes
+// the measurements as an observation and blocks until the environment's
+// Step supplies the caps.
+type envProxy struct{ e *Env }
+
 // Name implements core.Policy.
-func (*proxy) Name() string { return "rollout-env" }
+func (*envProxy) Name() string { return "rollout-env" }
 
 // Allocate implements core.Policy.
-func (p *proxy) Allocate(step int, nodes []core.NodeMeasure) []units.Watts {
-	o := Observation{Step: step, Measures: append([]core.NodeMeasure(nil), nodes...)}
-	o.aggregate()
-	select {
-	case p.obs <- o:
-	case <-p.ctx.Done():
-		return nil
-	}
-	select {
-	case caps := <-p.caps:
-		return caps
-	case <-p.ctx.Done():
-		return nil
-	}
+func (p *envProxy) Allocate(step int, nodes []core.NodeMeasure) []units.Watts {
+	return p.e.publish(step, nodes)
 }
 
 // Env is a rollout environment. The zero value is not usable; call
 // NewEnv. An Env runs one episode at a time: Reset starts (or restarts)
 // an episode, Step advances it, Result reads the finished episode's
 // outcome. Env is not safe for concurrent use; run one Env per worker.
+//
+// An Env owns one driver goroutine that parks between episodes, plus
+// the pooled per-worker episode state (observation buffers and, for
+// space-shared specs, the reusable cosim.Episode). Resetting the same
+// spec — or one differing only in budget — replays the pooled episode
+// instead of rebuilding the node population, which is where batched
+// rollout throughput comes from. Close releases the goroutine; a
+// closed Env may be Reset again.
 type Env struct {
-	px     *proxy
+	// mu/cond guard every field the driver goroutine shares with the
+	// caller; the rendezvous needs no channels and no per-step
+	// allocations.
+	mu   sync.Mutex
+	cond sync.Cond
+
+	// driver goroutine lifecycle.
+	started bool
+	closing bool
+	exited  chan struct{}
+
+	// Reset → driver episode handoff.
+	pendingRun func(context.Context) (*Result, error)
+	pendingCtx context.Context
+
+	// episode rendezvous state.
+	epoch     uint64 // current episode; stale context watchers check it
+	obsReady  bool
+	capsReady bool
+	caps      []units.Watts
+	obs       Observation
+	epDone    bool
+	abandoned bool
+	res       *Result
+	err       error
+
+	// caller-side episode bookkeeping (caller goroutine only).
+	hasEp  bool
+	fin    bool
 	cancel context.CancelFunc
-	done   chan struct{} // closed when the driver goroutine exits
-	res    *Result
-	err    error
-	fin    bool // episode finished (done observed)
+	stop   func() bool
+
+	// double-buffered observation measures, owned by the driver
+	// goroutine during an episode: the buffer published at step k stays
+	// intact while step k+1 fills the other one, so the caller may read
+	// its observation until the next Step call.
+	measBuf [2][]core.NodeMeasure
+	bufIdx  int
+
+	// pooled space-shared episode state.
+	proxy *envProxy
+	cache *StateCache
+	epKey string
+	ep    *cosim.Episode
 }
 
-// NewEnv returns an idle environment.
-func NewEnv() *Env { return &Env{} }
+// NewEnv returns an idle environment with a private state cache.
+func NewEnv() *Env { return NewEnvWith(nil) }
+
+// NewEnvWith returns an idle environment sharing the given JobState
+// cache; nil gets a private one. Batch workers share one cache so the
+// per-job precompute is paid once per grid, not once per worker.
+func NewEnvWith(cache *StateCache) *Env {
+	if cache == nil {
+		cache = NewStateCache()
+	}
+	e := &Env{cache: cache}
+	e.cond.L = &e.mu
+	e.proxy = &envProxy{e}
+	return e
+}
+
+// publish hands one decision point to the caller and blocks the driver
+// until Step supplies the caps (nil once the episode is abandoned).
+// Runs on the driver goroutine only.
+func (e *Env) publish(step int, nodes []core.NodeMeasure) []units.Watts {
+	// Copy into the inactive buffer and aggregate outside the lock: the
+	// driver owns both buffers during an episode, and the mutex handoff
+	// below publishes the writes to the caller.
+	buf := e.measBuf[e.bufIdx]
+	if cap(buf) < len(nodes) {
+		buf = make([]core.NodeMeasure, len(nodes))
+	}
+	buf = buf[:len(nodes)]
+	copy(buf, nodes)
+	e.measBuf[e.bufIdx] = buf
+	e.bufIdx ^= 1
+	o := Observation{Step: step, Measures: buf}
+	o.aggregate()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.abandoned {
+		return nil
+	}
+	e.obs = o
+	e.obsReady = true
+	e.cond.Broadcast()
+	for !e.capsReady && !e.abandoned {
+		e.cond.Wait()
+	}
+	if e.abandoned {
+		return nil
+	}
+	e.capsReady = false
+	caps := e.caps
+	e.caps = nil
+	return caps
+}
+
+// driverLoop is the Env's single driver goroutine: it parks between
+// episodes and runs each posted episode to completion.
+func (e *Env) driverLoop() {
+	e.mu.Lock()
+	for {
+		for e.pendingRun == nil && !e.closing {
+			e.cond.Wait()
+		}
+		if e.closing {
+			close(e.exited)
+			e.mu.Unlock()
+			return
+		}
+		run, ctx := e.pendingRun, e.pendingCtx
+		e.pendingRun, e.pendingCtx = nil, nil
+		e.mu.Unlock()
+
+		res, err := run(ctx)
+
+		e.mu.Lock()
+		e.res, e.err = res, err
+		e.epDone = true
+		e.cond.Broadcast()
+	}
+}
+
+// abandon unwinds the current episode, if any: it cancels the episode
+// context, wakes a driver parked at a decision point and waits for the
+// run to return. After abandon the driver goroutine is parked again
+// (or was never started) and no episode is active.
+func (e *Env) abandon() {
+	if !e.hasEp {
+		return
+	}
+	e.cancel()
+	e.stop()
+	e.mu.Lock()
+	if !e.epDone {
+		e.abandoned = true
+		e.cond.Broadcast()
+		for !e.epDone {
+			e.cond.Wait()
+		}
+	}
+	e.mu.Unlock()
+	e.cancel, e.stop = nil, nil
+	e.hasEp, e.fin = false, false
+}
 
 // Reset starts a new episode from spec and returns the first
 // observation — the measurements of the first synchronization interval,
 // exactly as the in-loop policy would first see them. A previous
 // unfinished episode is abandoned (its driver unwinds via context
-// cancellation).
+// cancellation). Reset is ResetContext with a background context.
 func (e *Env) Reset(spec Spec) (Observation, error) {
-	e.Close()
-	ctx, cancel := context.WithCancel(context.Background())
-	px := &proxy{ctx: ctx, obs: make(chan Observation), caps: make(chan []units.Watts)}
-	e.px, e.cancel = px, cancel
-	e.done = make(chan struct{})
-	e.res, e.err, e.fin = nil, nil, false
+	return e.ResetContext(context.Background(), spec)
+}
 
-	run, err := driverFor(spec, px)
+// ResetContext is Reset under a caller-supplied context: cancelling ctx
+// abandons the episode — a blocked Step returns done promptly and
+// Result reports the context's error.
+func (e *Env) ResetContext(ctx context.Context, spec Spec) (Observation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.abandon()
+
+	runp, err := e.compile(spec)
 	if err != nil {
-		cancel()
-		close(e.done)
 		return Observation{}, err
 	}
-	go func() {
-		defer close(e.done)
-		e.res, e.err = run(ctx)
-	}()
+	// The driver plays the proxy policy: every allocation round trips
+	// through the step rendezvous.
+	run := func(ctx context.Context) (*Result, error) { return runp(ctx, e.proxy) }
+	epCtx, cancel := context.WithCancel(ctx)
 
-	select {
-	case o := <-px.obs:
-		return o, nil
-	case <-e.done:
+	e.mu.Lock()
+	e.epoch++
+	epoch := e.epoch
+	e.obsReady, e.capsReady, e.epDone, e.abandoned = false, false, false, false
+	e.res, e.err, e.caps = nil, nil, nil
+	if !e.started {
+		e.started = true
+		e.exited = make(chan struct{})
+		go e.driverLoop()
+	}
+	e.pendingRun, e.pendingCtx = run, epCtx
+	e.cond.Broadcast()
+	e.mu.Unlock()
+
+	// The context watcher replaces the old per-step select on
+	// ctx.Done(): one AfterFunc per episode instead of two channel
+	// waits per step. The epoch guard keeps a late firing from
+	// touching a successor episode.
+	stop := context.AfterFunc(epCtx, func() {
+		e.mu.Lock()
+		if e.epoch == epoch {
+			e.abandoned = true
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	})
+	e.cancel, e.stop = cancel, stop
+	e.hasEp, e.fin = true, false
+
+	e.mu.Lock()
+	for !e.obsReady && !e.epDone {
+		e.cond.Wait()
+	}
+	if e.epDone {
 		// The episode ended before the first allocation (error, or a
 		// workload with no capped syncs).
+		err := e.err
+		e.mu.Unlock()
 		e.fin = true
-		if e.err != nil {
-			return Observation{}, e.err
+		if err != nil {
+			return Observation{}, err
 		}
 		return Observation{}, fmt.Errorf("rollout: episode finished before the first observation")
 	}
+	o := e.obs
+	e.obsReady = false
+	e.mu.Unlock()
+	return o, nil
 }
 
 // Step applies the action — per-node caps aligned with the previous
@@ -244,64 +493,112 @@ func (e *Env) Reset(spec Spec) (Observation, error) {
 // episode to the next decision point. done reports episode completion;
 // after done, read the outcome with Result.
 func (e *Env) Step(caps []units.Watts) (Observation, bool) {
-	if e.px == nil || e.fin {
+	if !e.hasEp || e.fin {
 		return Observation{}, true
 	}
-	select {
-	case e.px.caps <- caps:
-	case <-e.done:
+	e.mu.Lock()
+	e.caps = caps
+	e.capsReady = true
+	e.cond.Broadcast()
+	for !e.obsReady && !e.epDone {
+		e.cond.Wait()
+	}
+	if e.epDone {
+		e.mu.Unlock()
 		e.fin = true
 		return Observation{}, true
 	}
-	select {
-	case o := <-e.px.obs:
-		return o, false
-	case <-e.done:
-		e.fin = true
-		return Observation{}, true
-	}
+	o := e.obs
+	e.obsReady = false
+	e.mu.Unlock()
+	return o, false
 }
 
 // Result returns the finished episode's outcome. Calling it before Step
-// reported done is an error.
+// reported done is an error. The Result owns all its storage; it stays
+// valid across later Resets of the same Env.
 func (e *Env) Result() (*Result, error) {
-	if e.px == nil {
+	if !e.hasEp {
 		return nil, fmt.Errorf("rollout: no episode started")
 	}
 	if !e.fin {
 		return nil, fmt.Errorf("rollout: episode still running")
 	}
-	return e.res, e.err
+	e.mu.Lock()
+	res, err := e.res, e.err
+	e.mu.Unlock()
+	return res, err
 }
 
-// Close abandons the current episode, if any, and releases its driver.
+// Close abandons the current episode, if any, and parks then releases
+// the driver goroutine. A closed Env may be Reset again.
 func (e *Env) Close() {
-	if e.cancel != nil {
-		e.cancel()
-		<-e.done
-		e.px, e.cancel, e.done = nil, nil, nil
-		e.fin = false
+	e.abandon()
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return
 	}
+	e.closing = true
+	e.cond.Broadcast()
+	exited := e.exited
+	e.mu.Unlock()
+	<-exited
+	e.mu.Lock()
+	e.started, e.closing = false, false
+	e.exited = nil
+	e.mu.Unlock()
 }
 
-// driverFor compiles the spec into a driver invocation running the
-// proxy as its policy.
-func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), error) {
+// compile turns the spec into a runner parameterized on the acting
+// policy: the driver goroutine plays the step-API proxy through it,
+// while Rollout plugs the caller's policy in directly.
+// Space-shared specs without telemetry go through the episode pool: the
+// shared cache supplies the job's immutable precompute and the Env
+// keeps the last spec's Episode (node population and scratch) alive, so
+// repeated Resets of one job replay it instead of rebuilding it.
+func (e *Env) compile(spec Spec) (func(context.Context, core.Policy) (*Result, error), error) {
 	if spec.Topology == "" || spec.Topology == "space-shared" {
-		cfg := cosim.Config{
-			Spec:        spec.Workload,
-			Policy:      px,
+		if spec.Telemetry != nil {
+			// Instrumented episodes run the plain one-shot driver so
+			// every run reports fresh per-population counters.
+			cfg := spec.cosimConfig(nil)
+			return func(ctx context.Context, pol core.Policy) (*Result, error) {
+				c := cfg
+				c.Policy = pol
+				res, err := cosim.Run(ctx, c)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{
+					TotalTime:   res.TotalTime,
+					TotalEnergy: res.TotalEnergy,
+					SyncLog:     res.SyncLog,
+					Cosim:       res,
+				}, nil
+			}, nil
+		}
+		key := spec.jobKey()
+		if e.ep == nil || e.epKey != key {
+			st, err := e.cache.state(key, spec.cosimConfig(nil))
+			if err != nil {
+				return nil, err
+			}
+			ep, err := st.NewEpisode()
+			if err != nil {
+				return nil, err
+			}
+			e.epKey, e.ep = key, ep
+		}
+		ep := e.ep
+		prm := cosim.EpisodeParams{
 			Constraints: spec.constraints(spec.Workload.SimNodes + spec.Workload.AnaNodes),
 			CapMode:     cosim.CapLong,
-			Seed:        spec.Seed,
-			RunSeed:     spec.RunSeed,
-			Noise:       spec.Noise,
-			Faults:      spec.Faults,
-			Classes:     spec.Classes,
-			Telemetry:   spec.Telemetry,
 		}
-		return func(ctx context.Context) (*Result, error) {
-			res, err := cosim.Run(ctx, cfg)
+		return func(ctx context.Context, pol core.Policy) (*Result, error) {
+			p := prm
+			p.Policy = pol
+			res, err := ep.Run(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -328,7 +625,6 @@ func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), er
 		Graph:       topo.Graph,
 		Steps:       spec.Workload.Steps,
 		SyncEvery:   spec.Workload.J,
-		Policy:      px,
 		Constraints: topo.ScaleCaps(spec.constraints(topo.PhysicalNodes)),
 		Seed:        spec.Seed,
 		RunSeed:     spec.RunSeed,
@@ -337,8 +633,10 @@ func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), er
 		Classes:     spec.Classes,
 		Telemetry:   spec.Telemetry,
 	}
-	return func(ctx context.Context) (*Result, error) {
-		res, err := workflow.Run(ctx, cfg)
+	return func(ctx context.Context, pol core.Policy) (*Result, error) {
+		c := cfg
+		c.Policy = pol
+		res, err := workflow.Run(ctx, c)
 		if err != nil {
 			return nil, err
 		}
@@ -351,25 +649,31 @@ func driverFor(spec Spec, px *proxy) (func(context.Context) (*Result, error), er
 	}, nil
 }
 
-// Run drives one full episode of spec with pol supplying every action —
-// self-play over the step API. It is the rollout primitive Batch fans
-// out, and the subject of BenchmarkRollouts.
-func Run(ctx context.Context, spec Spec, pol core.Policy) (*Result, error) {
-	env := NewEnv()
-	defer env.Close()
-	obs, err := env.Reset(spec)
+// Rollout drives one full episode of spec on e with pol supplying every
+// action. The policy is in-process, so there is nothing to rendezvous
+// with: the episode runs on the caller's goroutine with pol invoked at
+// each synchronization directly — byte-identical to self-play over the
+// step API (the proxy feeds the policy the same measures), minus the
+// driver wakeups and observation copies per step. Reusing one Env
+// across Rollout calls keeps the pooled episode state warm; it is how
+// Batch workers run their cells and the subject of BenchmarkRollouts.
+func (e *Env) Rollout(ctx context.Context, spec Spec, pol core.Policy) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.abandon()
+	run, err := e.compile(spec)
 	if err != nil {
 		return nil, err
 	}
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		caps := pol.Allocate(obs.Step, obs.Measures)
-		next, done := env.Step(caps)
-		if done {
-			return env.Result()
-		}
-		obs = next
-	}
+	return run(ctx, pol)
+}
+
+// Run drives one full episode of spec with pol supplying every action,
+// on a throwaway Env. It is the one-shot rollout primitive; batched
+// callers hold an Env (or use Batch) to amortize episode state.
+func Run(ctx context.Context, spec Spec, pol core.Policy) (*Result, error) {
+	env := NewEnv()
+	defer env.Close()
+	return env.Rollout(ctx, spec, pol)
 }

@@ -1,0 +1,334 @@
+package rollout
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"seesaw/internal/cosim"
+	"seesaw/internal/machine"
+	"seesaw/internal/policy"
+	"seesaw/internal/units"
+	"seesaw/internal/workload"
+)
+
+// TestEnvPooledMatchesFresh pins the episode-reuse contract: replaying
+// a spec on one Env — pooled cluster, pooled scratch, parked driver
+// goroutine — produces byte-identical reports to a fresh in-loop run,
+// every time, for both drivers.
+func TestEnvPooledMatchesFresh(t *testing.T) {
+	t.Run("space-shared", func(t *testing.T) {
+		spec := testSpec("", t)
+		n := spec.Workload.SimNodes + spec.Workload.AnaNodes
+		cons := spec.constraints(n)
+
+		freshPol, err := policy.New("seesaw", cons, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := cosim.Run(context.Background(), cosim.Config{
+			Spec:        spec.Workload,
+			Policy:      freshPol,
+			Constraints: cons,
+			CapMode:     cosim.CapLong,
+			Seed:        spec.Seed,
+			RunSeed:     spec.RunSeed,
+			Noise:       spec.Noise,
+			Faults:      spec.Faults,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		env := NewEnv()
+		defer env.Close()
+		for round := 0; round < 3; round++ {
+			pol, err := policy.New("seesaw", cons, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Rollout(context.Background(), spec, pol)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if res.TotalTime != fresh.TotalTime || res.TotalEnergy != fresh.TotalEnergy {
+				t.Fatalf("round %d totals (%v s, %v J) != fresh (%v s, %v J)",
+					round, res.TotalTime, res.TotalEnergy, fresh.TotalTime, fresh.TotalEnergy)
+			}
+			if !bytes.Equal(syncCSV(t, res.SyncLog), syncCSV(t, fresh.SyncLog)) {
+				t.Fatalf("round %d SyncLog diverges from fresh run", round)
+			}
+		}
+	})
+
+	t.Run("workflow", func(t *testing.T) {
+		spec := testSpec("dag", t)
+		cons := spec.constraints(spec.Workload.SimNodes + spec.Workload.AnaNodes)
+		_ = cons
+
+		baselinePol, err := policy.New("seesaw", spec.constraints(8), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline, err := Run(context.Background(), spec, baselinePol)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		env := NewEnv()
+		defer env.Close()
+		for round := 0; round < 2; round++ {
+			pol, err := policy.New("seesaw", spec.constraints(8), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Rollout(context.Background(), spec, pol)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if res.TotalTime != baseline.TotalTime || res.TotalEnergy != baseline.TotalEnergy {
+				t.Fatalf("round %d totals diverge from first run", round)
+			}
+			if !bytes.Equal(syncCSV(t, res.SyncLog), syncCSV(t, baseline.SyncLog)) {
+				t.Fatalf("round %d SyncLog diverges from first run", round)
+			}
+		}
+	})
+}
+
+// TestEnvPooledAcrossEpisodeParams pins that one pooled Episode serves
+// points differing only in budget/policy: interleaving different
+// budgets on one Env must reproduce each budget's fresh-run bytes.
+func TestEnvPooledAcrossEpisodeParams(t *testing.T) {
+	base := testSpec("", t)
+	budgets := []units.Watts{105, 110, 120}
+
+	fresh := map[units.Watts][]byte{}
+	for _, b := range budgets {
+		spec := base
+		spec.CapPerNode = b
+		pol, err := policy.New("seesaw", spec.constraints(8), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), spec, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh[b] = syncCSV(t, res.SyncLog)
+	}
+
+	env := NewEnv()
+	defer env.Close()
+	// Interleave budgets twice over; every episode reuses the same
+	// pooled cluster because the job key ignores the budget.
+	for round := 0; round < 2; round++ {
+		for _, b := range budgets {
+			spec := base
+			spec.CapPerNode = b
+			pol, err := policy.New("seesaw", spec.constraints(8), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Rollout(context.Background(), spec, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(syncCSV(t, res.SyncLog), fresh[b]) {
+				t.Fatalf("round %d budget %v: pooled SyncLog diverges from fresh run", round, b)
+			}
+		}
+	}
+}
+
+// TestStepZeroAllocs is the fast path's allocation gate: once an
+// episode is warm, advancing it — driver goroutine, rendezvous,
+// observation publication and the whole cosim interval loop — must not
+// allocate at all.
+func TestStepZeroAllocs(t *testing.T) {
+	spec := Spec{
+		Workload: workload.Spec{
+			SimNodes: 4, AnaNodes: 4,
+			Dim: 8, J: 1, Steps: 4000,
+			Analyses: workload.Tasks("msd"),
+		},
+		Seed:    21,
+		RunSeed: 22,
+		Noise:   machine.DefaultNoise(),
+	}
+	env := NewEnv()
+	defer env.Close()
+	if _, err := env.Reset(spec); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools: measure buffers, RAPL windows, sync log backing.
+	for i := 0; i < 200; i++ {
+		if _, done := env.Step(nil); done {
+			t.Fatal("episode ended during warmup")
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, done := env.Step(nil); done {
+			t.Fatal("episode ended during measurement")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.1f objects/step, want 0", allocs)
+	}
+}
+
+// TestEnvPooledHammer drives thousands of pooled episodes through one
+// Env — interleaved with mid-episode abandons and context cancels — to
+// shake out rendezvous races (run under -race in CI) and pool
+// corruption across episode boundaries.
+func TestEnvPooledHammer(t *testing.T) {
+	episodes := 10000
+	if testing.Short() {
+		episodes = 500
+	}
+	spec := Spec{
+		Workload: workload.Spec{
+			SimNodes: 2, AnaNodes: 2,
+			Dim: 8, J: 1, Steps: 6,
+			Analyses: workload.Tasks("msd"),
+		},
+		Seed:    31,
+		RunSeed: 32,
+		Noise:   machine.DefaultNoise(),
+	}
+	pol, err := policy.New("seesaw", spec.constraints(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(context.Background(), spec, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := syncCSV(t, want.SyncLog)
+
+	env := NewEnv()
+	defer env.Close()
+	var completed atomic.Int64
+	for i := 0; i < episodes; i++ {
+		switch i % 5 {
+		case 3:
+			// Abandon mid-episode: the next Reset must unwind cleanly
+			// and the pool must replay from scratch.
+			if _, err := env.Reset(spec); err != nil {
+				t.Fatal(err)
+			}
+			env.Step(nil)
+		case 4:
+			// Cancel mid-episode: Step reports done promptly and
+			// Result surfaces the context error.
+			ctx, cancel := context.WithCancel(context.Background())
+			if _, err := env.ResetContext(ctx, spec); err != nil {
+				t.Fatal(err)
+			}
+			env.Step(nil)
+			cancel()
+			for {
+				if _, done := env.Step(nil); done {
+					break
+				}
+			}
+			if _, err := env.Result(); err == nil {
+				t.Fatal("cancelled episode reported no error")
+			}
+		default:
+			p, err := policy.New("seesaw", spec.constraints(4), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := env.Rollout(context.Background(), spec, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(syncCSV(t, res.SyncLog), wantCSV) {
+				t.Fatalf("episode %d diverges after pooled replay", i)
+			}
+			completed.Add(1)
+		}
+	}
+	if completed.Load() == 0 {
+		t.Fatal("no episodes completed")
+	}
+}
+
+// TestObservationClone pins the retention contract: a Clone stays
+// intact when the Env advances and overwrites its buffers.
+func TestObservationClone(t *testing.T) {
+	spec := testSpec("", t)
+	env := NewEnv()
+	defer env.Close()
+	obs, err := env.Reset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := obs.Clone()
+	if &clone.Measures[0] == &obs.Measures[0] {
+		t.Fatal("Clone aliases the Env's buffer")
+	}
+	snapshot := append([]units.Watts(nil), func() []units.Watts {
+		caps := make([]units.Watts, len(clone.Measures))
+		for i, m := range clone.Measures {
+			caps[i] = m.Cap
+		}
+		return caps
+	}()...)
+	// Advance well past the double buffer's reuse horizon.
+	for i := 0; i < 4; i++ {
+		if _, done := env.Step(nil); done {
+			t.Fatal("episode ended early")
+		}
+	}
+	for i, m := range clone.Measures {
+		if m.Cap != snapshot[i] {
+			t.Fatalf("clone mutated at node %d after steps", i)
+		}
+	}
+}
+
+// TestResetContextCancelled pins satellite semantics: the context
+// passed to ResetContext governs the whole episode.
+func TestResetContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	env := NewEnv()
+	defer env.Close()
+	if _, err := env.ResetContext(ctx, testSpec("", t)); err == nil {
+		t.Fatal("Reset under a cancelled context succeeded")
+	}
+}
+
+// TestGridKeyExtras pins the non-default key segments: grids differing
+// in steps, j, analyses or seed can never collide on a point key, while
+// default grids keep their established key shape.
+func TestGridKeyExtras(t *testing.T) {
+	def, err := Grid{Policies: []string{"seesaw"}}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 1 {
+		t.Fatalf("default grid expands to %d points, want 1", len(def))
+	}
+	if def[0].Key != "n8/b110/w1/dim16/faults=none/topo=space-shared/seesaw" {
+		t.Fatalf("default key changed: %q", def[0].Key)
+	}
+
+	varied, err := Grid{
+		Policies: []string{"seesaw"},
+		Steps:    12,
+		J:        3,
+		Analyses: []string{"msd", "rdf"},
+		Seed:     7,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "n8/b110/w1/dim16/steps12/j3/an=msd+rdf/seed7/faults=none/topo=space-shared/seesaw"
+	if varied[0].Key != want {
+		t.Fatalf("varied key = %q, want %q", varied[0].Key, want)
+	}
+}
