@@ -1,7 +1,7 @@
 # Tier-1 gate: everything `make check` runs must stay green.
 GO ?= go
 
-.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-profile bench-scale-smoke bench-rollouts bench-rollouts-profile clean
+.PHONY: all build check fmt vet staticcheck test race bench bench-scale bench-scale-profile bench-scale-smoke bench-rollouts bench-rollouts-profile memo-golden-smoke lane-race-smoke clean
 
 all: build
 
@@ -12,7 +12,7 @@ build:
 # installed), the full suite under the race detector (the telemetry
 # hub and the insitu driver are concurrent by design), and a single-
 # iteration pass over the scale benchmarks so they cannot rot.
-check: fmt vet staticcheck race bench-scale-smoke
+check: fmt vet staticcheck race bench-scale-smoke memo-golden-smoke lane-race-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -85,11 +85,14 @@ bench-scale-smoke:
 
 # bench-rollouts measures the policy-search fast path in isolation:
 # pooled-Env episode throughput at 256/1024/4096 nodes, the unpooled
-# fresh-Env baseline, and the batched grid sweep at jobs=1/4/8.
-# Interleaved A/B medians of these runs feed BENCH_rollouts2.json
-# (see EXPERIMENTS.md).
+# fresh-Env baseline, and the batched grid sweep at jobs=1/4/8. The
+# batch benchmark re-runs at GOMAXPROCS 1/4/8 (-cpu) so jobs>1 rows
+# measure real parallelism; jobs>1 under one core skips with a note.
+# Interleaved A/B medians of these runs feed BENCH_rollouts2.json and
+# BENCH_rollouts3.json (see EXPERIMENTS.md).
 bench-rollouts:
-	$(GO) test -run xxx -bench 'BenchmarkRollouts|BenchmarkRolloutsFresh|BenchmarkRolloutsBatch' -benchtime 2s ./internal/rollout/
+	$(GO) test -run xxx -bench 'BenchmarkRollouts$$|BenchmarkRolloutsFresh$$' -benchtime 2s ./internal/rollout/
+	$(GO) test -run xxx -bench BenchmarkRolloutsBatch -benchtime 2s -cpu 1,4,8 ./internal/rollout/
 
 # bench-rollouts-profile repeats the pooled run with CPU and heap
 # profiles (rollout.cpu.out / rollout.mem.out); CI uploads them as
@@ -97,6 +100,29 @@ bench-rollouts:
 bench-rollouts-profile:
 	$(GO) test -run xxx -bench '^BenchmarkRollouts$$' -benchtime 1x -count 5 \
 		-cpuprofile rollout.cpu.out -memprofile rollout.mem.out ./internal/rollout/
+
+# memo-golden-smoke pins the noise-trace memoization end to end at the
+# CLI: the same small search grid with memoization on and with
+# -no-noise-memo must print byte-identical reports (replay is
+# byte-identical to live draws by construction).
+memo-golden-smoke:
+	@tmp="$${TMPDIR:-/tmp}"; \
+	$(GO) run ./cmd/seesawctl search -nodes 8 -steps 20 -budgets 105,110 \
+		-policies seesaw,time-aware > "$$tmp/seesaw-memo-on.txt" && \
+	$(GO) run ./cmd/seesawctl search -nodes 8 -steps 20 -budgets 105,110 \
+		-policies seesaw,time-aware -no-noise-memo > "$$tmp/seesaw-memo-off.txt" && \
+	if ! cmp -s "$$tmp/seesaw-memo-on.txt" "$$tmp/seesaw-memo-off.txt"; then \
+		echo "memo-on vs -no-noise-memo reports diverge:"; \
+		diff "$$tmp/seesaw-memo-on.txt" "$$tmp/seesaw-memo-off.txt"; exit 1; \
+	fi; \
+	rm -f "$$tmp/seesaw-memo-on.txt" "$$tmp/seesaw-memo-off.txt"; \
+	echo "memo golden smoke ok: memoized and live reports are byte-identical"
+
+# lane-race-smoke runs one 256-node lane-batched grid sweep under the
+# race detector: the lane-stepped executor, the shared trace cache and
+# the campaign pool all on the hot path at real concurrency.
+lane-race-smoke:
+	$(GO) test -race -run xxx -bench 'BenchmarkRolloutsBatch/nodes=256/jobs=4' -benchtime 1x ./internal/rollout/
 
 clean:
 	$(GO) clean ./...

@@ -83,6 +83,9 @@ func runSearch(ctx context.Context, args []string) int {
 	analyses := fs.String("analyses", "", "comma-separated analyses (default msd)")
 	seed := fs.Uint64("seed", 1, "base job seed")
 	jobs := fs.Int("jobs", 0, "max rollouts in flight (0 = GOMAXPROCS); results are identical at any value")
+	lanes := fs.Int("lanes", 0, "same-job episodes advanced in lockstep per worker (0 = default, 1 disables lane batching); results are identical at any width")
+	noMemo := fs.Bool("no-noise-memo", false, "disable noise-trace memoization: draw every jitter variate live instead of replaying the recorded trace; results are identical either way")
+	cacheStats := fs.Bool("cache-stats", false, "print a trace-cache summary line (hits/misses/evictions/bytes) after the search")
 	telPath := fs.String("telemetry", "", "stream telemetry events to this file as JSON Lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -132,9 +135,16 @@ func runSearch(ctx context.Context, args []string) int {
 	if err != nil {
 		return fail(ctx, err)
 	}
+	if *noMemo {
+		for i := range points {
+			points[i].Spec.NoNoiseMemo = true
+		}
+	}
 	hub, closeHub := mustOpenHub(*telPath)
 	defer closeHub()
-	outs, err := rollout.Batch(ctx, points, rollout.Options{Jobs: *jobs, Telemetry: hub})
+	cache := rollout.NewStateCache()
+	cache.SetTelemetry(hub)
+	outs, err := rollout.Batch(ctx, points, rollout.Options{Jobs: *jobs, Lanes: *lanes, Cache: cache, Telemetry: hub})
 	if err != nil {
 		return fail(ctx, err)
 	}
@@ -173,6 +183,11 @@ func runSearch(ctx context.Context, args []string) int {
 		if b, ok := best[sc]; ok {
 			fmt.Printf("best %-60s %s (%.2f s)\n", sc, b.policy, b.time)
 		}
+	}
+	if *cacheStats {
+		st := cache.Stats()
+		fmt.Printf("trace cache: %d hits, %d misses, %d evictions, %d entries, %d bytes\n",
+			st.Hits, st.Misses, st.Evictions, st.Entries, st.Bytes)
 	}
 	return 0
 }

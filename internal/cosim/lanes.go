@@ -1,0 +1,85 @@
+// Lane-stepped episode evaluation: K episodes of one JobState advance
+// in lockstep through the synchronization schedule. A grid sweep
+// evaluating many (budget, w, policy) points of the same job walks the
+// per-window state — schedule entry, phase tables, memoized noise
+// traces — once per window and feeds it to every lane while it is hot
+// in cache, instead of streaming the whole job's tables through the
+// cache once per grid point. Each lane owns a full Episode (its own
+// node population and scratch), so lane results are byte-identical to
+// running the same episodes back to back; the lockstep only changes
+// the order windows of *different* episodes execute in, never the
+// bytes of any one episode (the rollout lane goldens pin this).
+package cosim
+
+import (
+	"context"
+	"fmt"
+)
+
+// Lanes is a fixed-width set of Episodes over one shared JobState,
+// advanced window by window in lockstep. A Lanes is not safe for
+// concurrent use; batch workers own one each.
+type Lanes struct {
+	st  *JobState
+	eps []*Episode
+}
+
+// NewLanes builds width episodes over the job state. Width is the
+// upper bound on the episodes one Run advances together; a Run may use
+// fewer lanes than the set holds.
+func (st *JobState) NewLanes(width int) (*Lanes, error) {
+	if width < 1 {
+		return nil, fmt.Errorf("cosim: lane width %d, need >= 1", width)
+	}
+	l := &Lanes{st: st, eps: make([]*Episode, width)}
+	for i := range l.eps {
+		ep, err := st.NewEpisode()
+		if err != nil {
+			return nil, err
+		}
+		l.eps[i] = ep
+	}
+	return l, nil
+}
+
+// Width returns the lane count.
+func (l *Lanes) Width() int { return len(l.eps) }
+
+// Run executes one episode per parameter set, len(prms) <= Width, all
+// advancing in lockstep: each schedule window is checked for
+// cancellation once and then executed across every lane before any
+// lane moves on. Results are in prms order, each byte-identical to
+// Episode.Run of the same parameters. Like Episode.Run, a cancelled
+// context returns ctx.Err() with no partial results.
+func (l *Lanes) Run(ctx context.Context, prms []EpisodeParams) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(prms) == 0 {
+		return nil, nil
+	}
+	if len(prms) > len(l.eps) {
+		return nil, fmt.Errorf("cosim: %d episode params for %d lanes", len(prms), len(l.eps))
+	}
+	runs := make([]*epRun, len(prms))
+	for i, prm := range prms {
+		r, err := l.eps[i].begin(prm)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+	for syncIdx := range l.st.schedule {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for i, r := range runs {
+			l.eps[i].runWindow(r, syncIdx)
+		}
+	}
+	out := make([]*Result, len(prms))
+	for i, r := range runs {
+		out[i] = l.eps[i].finish(r)
+	}
+	return out, nil
+}

@@ -243,6 +243,12 @@ type Node struct {
 	// rewind the (consumed-during-run) stream for pooled episode reuse.
 	jitter0 rng.Stream
 
+	// noiseTrace, when non-nil, replays pre-recorded standard-normal
+	// draws in place of the live jitter stream (see SetNoiseTrace);
+	// noisePos is the replay cursor, rewound by Reset.
+	noiseTrace []float64
+	noisePos   int
+
 	// slowFactor is a settable excursion multiplier on phase durations
 	// (1 = nominal). The cluster layer drives it from fault plans to
 	// model transient slow-node excursions; unlike the seeded noise
@@ -293,8 +299,47 @@ func NewNodeWithSeeds(id int, cfg rapl.Config, model Model, noise NoiseModel, jo
 func (n *Node) Reset() {
 	n.rapl.Reset()
 	*n.jitter = n.jitter0
+	n.noisePos = 0
 	n.slowFactor = 1
 	n.busy, n.idle = 0, 0
+}
+
+// SetNoiseTrace installs a recorded standard-normal draw sequence for
+// this node: subsequent phase executions consume trace entries instead
+// of advancing the live jitter stream, producing bit-identical jitter
+// factors (the trace entries are the Norm values the stream would have
+// drawn — see JitterTrace). Reset rewinds the replay cursor, so a
+// pooled node replays the same trace every episode. nil reverts to the
+// live stream. The slice is read, never written; callers may share one
+// trace across any number of nodes' replays concurrently.
+func (n *Node) SetNoiseTrace(t []float64) {
+	n.noiseTrace = t
+	n.noisePos = 0
+}
+
+// nextNorm returns the node's next standard-normal noise draw: the
+// next trace entry under replay, or a live Box-Muller draw otherwise.
+// A replay past the recorded length panics — the trace length is
+// derived from the same phase tables the episode executes, so running
+// out is a driver accounting bug, not a recoverable condition.
+func (n *Node) nextNorm() float64 {
+	if n.noiseTrace != nil {
+		v := n.noiseTrace[n.noisePos]
+		n.noisePos++
+		return v
+	}
+	return n.jitter.Norm()
+}
+
+// JitterTrace records the first draws standard normals of node id's
+// jitter stream under runSeed — exactly the sequence a node built by
+// NewNodeWithSeeds(id, ..., runSeed) consumes while executing phases.
+// The wiring (stream label and derivation) lives here so the recorder
+// can never drift from the live path.
+func JitterTrace(runSeed uint64, id, draws int) []float64 {
+	out := make([]float64, draws)
+	rng.DeriveIndexed(runSeed, "node-jitter", id).FillNorm(out)
+	return out
 }
 
 // ID returns the node identifier.
@@ -423,12 +468,12 @@ func (n *Node) runAdapted(ph *Phase, noise *NoiseModel) Execution {
 	if throttled && dual {
 		d *= n.dualRunSkew
 	}
-	d *= n.jitter.Jitter(n.jitterSigma(noise.JitterSigma, throttled, dual))
+	d *= rng.JitterFrom(n.nextNorm(), n.jitterSigma(noise.JitterSigma, throttled, dual))
 
 	// Power-reading ripple: the realized average power of the phase
 	// fluctuates around the regulated level.
 	if noise.PowerSigma > 0 {
-		drawn = units.Watts(float64(drawn) * n.jitter.Jitter(noise.PowerSigma))
+		drawn = units.Watts(float64(drawn) * rng.JitterFrom(n.nextNorm(), noise.PowerSigma))
 		if tdp := n.rapl.TDP(); drawn > tdp {
 			drawn = tdp
 		}

@@ -94,6 +94,15 @@ func (s *Stream) Norm() float64 {
 	return r * cos
 }
 
+// FillNorm fills dst with consecutive standard-normal draws from s, in
+// the order repeated Norm calls would produce them. It is the recording
+// primitive for memoized noise traces.
+func (s *Stream) FillNorm(dst []float64) {
+	for i := range dst {
+		dst[i] = s.Norm()
+	}
+}
+
 // Gauss returns a normal variate with the given mean and stddev.
 func (s *Stream) Gauss(mean, stddev float64) float64 {
 	return mean + stddev*s.Norm()
@@ -111,7 +120,15 @@ func (s *Stream) LogNormFactor(sigma float64) float64 {
 // Jitter returns 1 + eps where eps is normal with stddev rel, truncated
 // to keep the factor positive (floored at 0.05).
 func (s *Stream) Jitter(rel float64) float64 {
-	f := 1 + rel*s.Norm()
+	return JitterFrom(s.Norm(), rel)
+}
+
+// JitterFrom is Jitter computed from a pre-drawn standard normal: the
+// noise-trace replay path records the Norm draws once per job and feeds
+// them back through this function, so a replayed jitter factor is the
+// same float a live stream would have produced for the same draw.
+func JitterFrom(norm, rel float64) float64 {
+	f := 1 + rel*norm
 	if f < 0.05 {
 		f = 0.05
 	}

@@ -3,6 +3,7 @@ package rollout
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"seesaw/internal/machine"
@@ -86,35 +87,53 @@ func BenchmarkRolloutsFresh(b *testing.B) {
 }
 
 // BenchmarkRolloutsBatch measures batch scaling: one iteration fans a
-// 16-point budget/policy sweep of a single 256-node job across the
+// 64-point budget/window/policy sweep of a single job across the
 // campaign pool at the given concurrency, exercising the shared
-// JobState cache and the per-worker episode pools together.
+// JobState cache, the per-worker episode pools and the lane-stepped
+// executor together. One iteration is one Batch call — the shape of a
+// real search invocation — so per-call costs (trace recording, lane
+// population construction) are amortized exactly as a user's sweep
+// amortizes them.
+//
+// Honest multi-core numbers need the worker concurrency and the
+// scheduler's parallelism to agree, so run this benchmark with
+// -cpu 1,4,8 (the Makefile's bench-rollouts target does): each jobs=N
+// row then appears once per GOMAXPROCS value. A jobs>1 row under
+// GOMAXPROCS=1 is skipped with a note — its workers would time-slice
+// one core and the row would measure scheduler interleaving, not batch
+// scaling.
 func BenchmarkRolloutsBatch(b *testing.B) {
-	points, err := Grid{
-		Nodes:    []int{256},
-		Dims:     []int{8},
-		Steps:    4,
-		Budgets:  []units.Watts{105, 110, 115, 120},
-		Policies: []string{"seesaw", "time-aware", "power-aware", "static"},
-	}.Expand()
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, jobs := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				outs, err := Batch(context.Background(), points, Options{Jobs: jobs})
-				if err != nil {
-					b.Fatal(err)
+	for _, nodes := range []int{256, 1024} {
+		points, err := Grid{
+			Nodes:    []int{nodes},
+			Dims:     []int{8},
+			Steps:    4,
+			Budgets:  []units.Watts{104, 106, 108, 110, 112, 114, 116, 118},
+			Windows:  []int{1, 2},
+			Policies: []string{"seesaw", "time-aware", "power-aware", "static"},
+		}.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, jobs := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("nodes=%d/jobs=%d", nodes, jobs), func(b *testing.B) {
+				if jobs > 1 && runtime.GOMAXPROCS(0) == 1 {
+					b.Skipf("jobs=%d with GOMAXPROCS=1: workers would time-slice one core; see -cpu 4,8 rows", jobs)
 				}
-				for _, o := range outs {
-					if o.Err != nil {
-						b.Fatal(o.Err)
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					outs, err := Batch(context.Background(), points, Options{Jobs: jobs})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, o := range outs {
+						if o.Err != nil {
+							b.Fatal(o.Err)
+						}
 					}
 				}
-			}
-			b.ReportMetric(float64(b.N*len(points))/b.Elapsed().Seconds(), "rollouts/sec")
-		})
+				b.ReportMetric(float64(b.N*len(points))/b.Elapsed().Seconds(), "rollouts/sec")
+			})
+		}
 	}
 }

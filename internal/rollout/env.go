@@ -71,6 +71,13 @@ type Spec struct {
 	// Instrumented episodes bypass the episode pool: telemetry counters
 	// are cumulative per node population, so each run gets a fresh one.
 	Telemetry *telemetry.Hub
+	// NoNoiseMemo disables the job's noise-trace memoization
+	// (cosim.Config.NoNoiseMemo): episodes draw jitter live from the
+	// node streams instead of replaying the recorded trace. Replay is
+	// byte-identical by construction — the flag is a diagnostic escape
+	// hatch, and it forks the job key so memoized and live JobStates
+	// never share a cache entry.
+	NoNoiseMemo bool
 }
 
 // paper-default cap range, mirrored from the experiment harness.
@@ -102,9 +109,13 @@ func (s Spec) constraints(physicalNodes int) core.Constraints {
 // key, so a grid sweep over them shares one cosim.JobState.
 func (s Spec) jobKey() string {
 	w := s.Workload
-	return fmt.Sprintf("n%d+%d/dim%d/j%d/steps%d/an=%v/nst=%t/seed=%d.%d/noise=%+v/faults=%s/classes=%s",
+	key := fmt.Sprintf("n%d+%d/dim%d/j%d/steps%d/an=%v/nst=%t/seed=%d.%d/noise=%+v/faults=%s/classes=%s",
 		w.SimNodes, w.AnaNodes, w.Dim, w.J, w.Steps, w.Analyses, w.NoSetupTransient,
 		s.Seed, s.RunSeed, s.Noise, s.Faults, s.Classes)
+	if s.NoNoiseMemo {
+		key += "/nomemo"
+	}
+	return key
 }
 
 // cosimConfig assembles the space-shared driver configuration.
@@ -120,6 +131,7 @@ func (s Spec) cosimConfig(pol core.Policy) cosim.Config {
 		Faults:      s.Faults,
 		Classes:     s.Classes,
 		Telemetry:   s.Telemetry,
+		NoNoiseMemo: s.NoNoiseMemo,
 	}
 }
 
@@ -205,37 +217,6 @@ type Result struct {
 	Workflow *workflow.Result
 }
 
-// StateCache shares cosim.JobState precompute across environments: one
-// entry per distinct job key (workload, topology seeds, noise, faults,
-// classes), built once and then read-only. A cache is safe for
-// concurrent use; Batch hands one cache to every worker's Env so a grid
-// sweep pays each job's schedule/phase-table construction exactly once.
-type StateCache struct {
-	mu sync.Mutex
-	m  map[string]*cosim.JobState
-}
-
-// NewStateCache returns an empty cache.
-func NewStateCache() *StateCache {
-	return &StateCache{m: map[string]*cosim.JobState{}}
-}
-
-// state returns the cached JobState for key, building it from cfg on
-// first use.
-func (c *StateCache) state(key string, cfg cosim.Config) (*cosim.JobState, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if st, ok := c.m[key]; ok {
-		return st, nil
-	}
-	st, err := cosim.NewJobState(cfg)
-	if err != nil {
-		return nil, err
-	}
-	c.m[key] = st
-	return st, nil
-}
-
 // envProxy is the core.Policy the drivers run: its Allocate publishes
 // the measurements as an observation and blocks until the environment's
 // Step supplies the caps.
@@ -306,6 +287,10 @@ type Env struct {
 	cache *StateCache
 	epKey string
 	ep    *cosim.Episode
+
+	// pooled lane state for RolloutLanes, keyed like the episode pool.
+	lanesKey string
+	lanes    *cosim.Lanes
 }
 
 // NewEnv returns an idle environment with a private state cache.
@@ -667,6 +652,74 @@ func (e *Env) Rollout(ctx context.Context, spec Spec, pol core.Policy) (*Result,
 		return nil, err
 	}
 	return run(ctx, pol)
+}
+
+// RolloutLanes drives len(specs) episodes of one job in lockstep
+// through a pooled cosim.Lanes, pols[i] supplying specs[i]'s actions.
+// All specs must be space-shared, uninstrumented, and share one job key
+// — i.e. differ only in budget/constraints — which is exactly the shape
+// of a grid sweep's key group; Batch carves its points into such lanes.
+// Results are in specs order and byte-identical to Rollout of each
+// spec alone (the lane goldens pin this); the lockstep only changes
+// which episode's window executes next, so the job's phase tables and
+// memoized noise traces are read once per window instead of once per
+// episode.
+func (e *Env) RolloutLanes(ctx context.Context, specs []Spec, pols []core.Policy) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	if len(specs) != len(pols) {
+		return nil, fmt.Errorf("rollout: %d specs, %d policies", len(specs), len(pols))
+	}
+	key := specs[0].jobKey()
+	for i, s := range specs {
+		if s.Topology != "" && s.Topology != "space-shared" {
+			return nil, fmt.Errorf("rollout: lane %d topology %q (lanes are space-shared only)", i, s.Topology)
+		}
+		if s.Telemetry != nil {
+			return nil, fmt.Errorf("rollout: lane %d is instrumented (lanes bypass telemetry)", i)
+		}
+		if i > 0 && s.jobKey() != key {
+			return nil, fmt.Errorf("rollout: lane %d job differs from lane 0 (lanes share one job)", i)
+		}
+	}
+	e.abandon()
+	if e.lanes == nil || e.lanesKey != key || e.lanes.Width() < len(specs) {
+		st, err := e.cache.state(key, specs[0].cosimConfig(nil))
+		if err != nil {
+			return nil, err
+		}
+		lanes, err := st.NewLanes(len(specs))
+		if err != nil {
+			return nil, err
+		}
+		e.lanesKey, e.lanes = key, lanes
+	}
+	prms := make([]cosim.EpisodeParams, len(specs))
+	for i, s := range specs {
+		prms[i] = cosim.EpisodeParams{
+			Policy:      pols[i],
+			Constraints: s.constraints(s.Workload.SimNodes + s.Workload.AnaNodes),
+			CapMode:     cosim.CapLong,
+		}
+	}
+	rs, err := e.lanes.Run(ctx, prms)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = &Result{
+			TotalTime:   r.TotalTime,
+			TotalEnergy: r.TotalEnergy,
+			SyncLog:     r.SyncLog,
+			Cosim:       r,
+		}
+	}
+	return out, nil
 }
 
 // Run drives one full episode of spec with pol supplying every action,

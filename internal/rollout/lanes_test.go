@@ -1,0 +1,190 @@
+package rollout
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"seesaw/internal/core"
+	"seesaw/internal/policy"
+	"seesaw/internal/units"
+)
+
+// laneSpecs builds width same-job specs differing only in budget — the
+// key-group shape Batch carves into lanes.
+func laneSpecs(t *testing.T, width int) []Spec {
+	t.Helper()
+	specs := make([]Spec, width)
+	for i := range specs {
+		s := testSpec("", t)
+		s.CapPerNode = units.Watts(104 + 4*i)
+		specs[i] = s
+	}
+	return specs
+}
+
+// lanePolicies constructs one registry policy per spec.
+func lanePolicies(t *testing.T, name string, specs []Spec) []core.Policy {
+	t.Helper()
+	pols := make([]core.Policy, len(specs))
+	for i, s := range specs {
+		n := s.Workload.SimNodes + s.Workload.AnaNodes
+		pol, err := policy.New(name, s.constraints(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pols[i] = pol
+	}
+	return pols
+}
+
+// TestRolloutLanesMatchesSequential pins the lane-stepping contract:
+// K same-job episodes advanced in lockstep produce byte-identical
+// reports to the same episodes run back to back on a plain Env —
+// lockstep reorders windows across episodes, never bytes within one.
+func TestRolloutLanesMatchesSequential(t *testing.T) {
+	for _, name := range []string{"seesaw", "time-aware", "static"} {
+		t.Run(name, func(t *testing.T) {
+			specs := laneSpecs(t, 3)
+
+			seq := make([]*Result, len(specs))
+			env := NewEnv()
+			defer env.Close()
+			for i, s := range specs {
+				pols := lanePolicies(t, name, specs)
+				res, err := env.Rollout(context.Background(), s, pols[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq[i] = res
+			}
+
+			lenv := NewEnv()
+			defer lenv.Close()
+			// Two passes over one pooled Lanes: the second reuses the lane
+			// populations and must still match.
+			for pass := 0; pass < 2; pass++ {
+				rs, err := lenv.RolloutLanes(context.Background(), specs, lanePolicies(t, name, specs))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range specs {
+					if rs[i].TotalTime != seq[i].TotalTime || rs[i].TotalEnergy != seq[i].TotalEnergy {
+						t.Errorf("pass %d lane %d totals diverge from sequential", pass, i)
+					}
+					if !bytes.Equal(syncCSV(t, rs[i].SyncLog), syncCSV(t, seq[i].SyncLog)) {
+						t.Errorf("pass %d lane %d SyncLog diverges from sequential", pass, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRolloutLanesValidation: mixed jobs, workflow topologies and
+// instrumented specs are rejected up front.
+func TestRolloutLanesValidation(t *testing.T) {
+	env := NewEnv()
+	defer env.Close()
+	specs := laneSpecs(t, 2)
+	pols := lanePolicies(t, "static", specs)
+
+	mixed := append([]Spec(nil), specs...)
+	mixed[1].Seed++ // different job
+	if _, err := env.RolloutLanes(context.Background(), mixed, pols); err == nil {
+		t.Error("mixed-job lanes accepted")
+	}
+	topo := append([]Spec(nil), specs...)
+	topo[0].Topology = "time-shared"
+	if _, err := env.RolloutLanes(context.Background(), topo, pols); err == nil {
+		t.Error("workflow-topology lanes accepted")
+	}
+	if _, err := env.RolloutLanes(context.Background(), specs, pols[:1]); err == nil {
+		t.Error("spec/policy length mismatch accepted")
+	}
+}
+
+// TestNoiseMemoGolden pins the memoization contract end to end: a
+// memoized episode (noise trace recorded once, replayed thereafter) is
+// byte-identical to the same spec with NoNoiseMemo — every jitter
+// variate drawn live from the node streams.
+func TestNoiseMemoGolden(t *testing.T) {
+	spec := testSpec("", t)
+	spec.Faults = nil // fault-free so the memo path actually engages
+	n := spec.Workload.SimNodes + spec.Workload.AnaNodes
+
+	run := func(s Spec) *Result {
+		t.Helper()
+		pol, err := policy.New("seesaw", s.constraints(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := NewEnv()
+		defer env.Close()
+		// Two rollouts: the second replays the recorded trace (or, with
+		// NoNoiseMemo, redraws live) over the pooled episode.
+		if _, err := env.Rollout(context.Background(), s, pol); err != nil {
+			t.Fatal(err)
+		}
+		pol, err = policy.New("seesaw", s.constraints(n), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := env.Rollout(context.Background(), s, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	memo := run(spec)
+	live := spec
+	live.NoNoiseMemo = true
+	liveRes := run(live)
+
+	if memo.TotalTime != liveRes.TotalTime || memo.TotalEnergy != liveRes.TotalEnergy {
+		t.Error("memoized totals diverge from live draws")
+	}
+	if !bytes.Equal(syncCSV(t, memo.SyncLog), syncCSV(t, liveRes.SyncLog)) {
+		t.Error("memoized SyncLog diverges from live draws")
+	}
+}
+
+// TestBatchLanesByteIdentical: the same grid through lane widths 1
+// (lane batching disabled), the default, and an oversized width yields
+// identical outcomes.
+func TestBatchLanesByteIdentical(t *testing.T) {
+	points, err := Grid{
+		Nodes:    []int{8},
+		Budgets:  []units.Watts{104, 110, 118},
+		Steps:    12,
+		Policies: []string{"seesaw", "time-aware"},
+		Seed:     5,
+	}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(lanes int) []Outcome {
+		outs, err := Batch(context.Background(), points, Options{Jobs: 4, Lanes: lanes})
+		if err != nil {
+			t.Fatalf("lanes=%d: %v", lanes, err)
+		}
+		return outs
+	}
+	base := run(1)
+	for _, lanes := range []int{0, 16} {
+		outs := run(lanes)
+		for i := range base {
+			a, b := base[i].Result, outs[i].Result
+			if a == nil || b == nil {
+				t.Fatalf("point %q failed: %v / %v", points[i].Key, base[i].Err, outs[i].Err)
+			}
+			if a.TotalTime != b.TotalTime || a.TotalEnergy != b.TotalEnergy {
+				t.Errorf("lanes=%d point %q totals diverge", lanes, points[i].Key)
+			}
+			if !bytes.Equal(syncCSV(t, a.SyncLog), syncCSV(t, b.SyncLog)) {
+				t.Errorf("lanes=%d point %q SyncLog diverges", lanes, points[i].Key)
+			}
+		}
+	}
+}
